@@ -1,0 +1,66 @@
+"""EXT1: the Section 7.1 Language Opportunities, exercised.
+
+Cheapest-path selectors over weighted graphs, the edge-isomorphic match
+mode, and JSON export of bindings.
+"""
+
+import pytest
+
+from repro.datasets import grid_graph
+from repro.extensions import (
+    filter_edge_isomorphic,
+    result_to_json,
+    top_k_cheapest_paths,
+)
+from repro.gpml import match, prepare
+
+
+@pytest.fixture(scope="module")
+def weighted_grid():
+    graph = grid_graph(5, 5)
+    for edge in graph.edges():
+        first, _ = edge.endpoint_ids
+        node = graph.node(first)
+        graph.set_property(edge.id, "toll", (node["x"] * 7 + node["y"] * 3) % 5 + 1)
+    return graph
+
+
+def test_any_cheapest(benchmark, weighted_grid):
+    prepared = prepare(
+        "MATCH ANY CHEAPEST COST toll p = (a WHERE a.x=0 AND a.y=0)-[e]->*"
+        "(b WHERE b.x=4 AND b.y=4)"
+    )
+    result = benchmark(match, weighted_grid, prepared)
+    assert len(result) == 1
+
+
+def test_top_k_cheapest(benchmark, weighted_grid):
+    def run():
+        return top_k_cheapest_paths(
+            weighted_grid,
+            "(a WHERE a.x=0 AND a.y=0)-[e]->*(b WHERE b.x=4 AND b.y=4)",
+            k=3,
+            cost_property="toll",
+        )
+
+    paths = benchmark(run)
+    costs = [p.cost("toll") for p in paths]
+    assert costs == sorted(costs)
+    assert len(paths) == 3
+
+
+def test_edge_isomorphic_mode(benchmark, fig1):
+    prepared = prepare("MATCH (x)-[e:Transfer]->(y), (y)-[f:Transfer]->(z)")
+
+    def run():
+        return filter_edge_isomorphic(match(fig1, prepared))
+
+    result = benchmark(run)
+    for row in result:
+        assert row["e"] != row["f"]
+
+
+def test_json_export(benchmark, fig1):
+    result = match(fig1, "MATCH (a:Account)-[e:Transfer]->{1,2}(b)")
+    text = benchmark(result_to_json, result)
+    assert text.startswith("[")

@@ -1,0 +1,51 @@
+"""FIG1: the property-graph substrate (Figure 1 and Definition 2.1).
+
+Regenerates: construction of the banking graph, element access paths,
+serialization, statistics.  The assertions pin the exact census the paper
+draws (6 accounts, 8 transfers, 2 places, 4 phones, 2 IPs).
+"""
+
+from repro.datasets import figure1_graph, random_transfer_network
+from repro.graph import graph_from_json, graph_statistics, graph_to_json
+
+
+def test_build_figure1(benchmark):
+    graph = benchmark(figure1_graph)
+    assert graph.num_nodes == 14
+    assert graph.num_edges == 22
+
+
+def test_build_scaled_bank(benchmark):
+    graph = benchmark(random_transfer_network, 200, 500, 7)
+    assert graph.num_nodes >= 200
+    assert len(list(graph.edges_with_label("Transfer"))) == 500
+
+
+def test_incidence_scan(benchmark, fig1):
+    def scan():
+        total = 0
+        for node_id in fig1.node_ids():
+            total += len(fig1.incidences(node_id))
+        return total
+
+    # every directed edge contributes 2 incidences, undirected non-loop 2
+    assert benchmark(scan) == 44
+
+
+def test_label_index_lookup(benchmark, fig1):
+    result = benchmark(fig1.nodes_with_label, "Account")
+    assert len(result) == 6
+
+
+def test_json_round_trip(benchmark, fig1):
+    def round_trip():
+        return graph_from_json(graph_to_json(fig1))
+
+    clone = benchmark(round_trip)
+    assert clone.num_nodes == fig1.num_nodes
+
+
+def test_statistics(benchmark, fig1):
+    stats = benchmark(graph_statistics, fig1)
+    assert stats.num_directed_edges == 16
+    assert stats.num_undirected_edges == 6

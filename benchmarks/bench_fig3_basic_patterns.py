@@ -1,0 +1,48 @@
+"""FIG3: the three basic pattern kinds (node, edge, path).
+
+Regenerates Figure 3 on the banking graph and on the scaled synthetic
+bank; row counts are pinned on Figure 1.
+"""
+
+from repro.gpml import match, prepare
+
+_PATTERN_A = prepare("MATCH (x:Account WHERE x.isBlocked='yes')")
+_PATTERN_B = prepare(
+    "MATCH (x:Account WHERE x.isBlocked='no')"
+    "-[e:Transfer WHERE e.date='3/1/2020']->"
+    "(y:Account WHERE y.isBlocked='yes')"
+)
+_PATTERN_C = prepare(
+    "MATCH TRAIL (x:Account WHERE x.isBlocked='no')"
+    "-[:Transfer]->+(y:Account WHERE y.isBlocked='yes')"
+)
+
+
+def test_pattern_a_node(benchmark, fig1):
+    result = benchmark(match, fig1, _PATTERN_A)
+    assert result.ids("x") == ["a4"]
+
+
+def test_pattern_b_edge(benchmark, fig1):
+    result = benchmark(match, fig1, _PATTERN_B)
+    assert result.to_dicts() == [{"x": "a2", "e": "t3", "y": "a4"}]
+
+
+def test_pattern_c_path(benchmark, fig1):
+    result = benchmark(match, fig1, _PATTERN_C)
+    assert len(result) == 8  # the eight Transfer trails ending at Jay
+    assert {row["y"].id for row in result} == {"a4"}
+
+
+def test_pattern_a_scaled(benchmark, bank_medium):
+    result = benchmark(match, bank_medium, _PATTERN_A)
+    assert len(result) > 0
+
+
+def test_pattern_b_scaled(benchmark, bank_medium):
+    prepared = prepare(
+        "MATCH (x:Account WHERE x.isBlocked='no')"
+        "-[e:Transfer WHERE e.amount>5M]->(y:Account WHERE y.isBlocked='yes')"
+    )
+    result = benchmark(match, bank_medium, prepared)
+    assert all(row["e"]["amount"] > 5_000_000 for row in result)

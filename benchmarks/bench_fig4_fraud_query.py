@@ -1,0 +1,92 @@
+"""FIG4 + Section 3: the fraud query in every surveyed language form.
+
+Regenerates the Figure 4 pattern as: plain GPML, GQL (Cypher rendering),
+SQL/PGQ GRAPH_TABLE (PGQL rendering), GSQL-style distinct projection, and
+the SPARQL endpoint-semantics baseline.  Expected owner pairs on Figure 1:
+(Aretha, Jay) and (Dave, Jay).
+"""
+
+from repro.baselines import endpoint_pairs
+from repro.gpml import match, prepare
+from repro.gql import GqlSession
+from repro.pgq import graph_table
+
+_GPML = prepare(
+    "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+    "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+    "(y:Account WHERE y.isBlocked='yes'), "
+    "TRAIL (x)-[:Transfer]->+(y)"
+)
+
+_EXPECTED = [("Aretha", "Jay"), ("Dave", "Jay")]
+
+
+def test_gpml_form(benchmark, fig1):
+    result = benchmark(match, fig1, _GPML)
+    pairs = sorted({(r["x"]["owner"], r["y"]["owner"]) for r in result})
+    assert pairs == _EXPECTED
+
+
+def test_gql_cypher_form(benchmark, fig1):
+    session = GqlSession(fig1)
+    query = (
+        "MATCH (a:Account WHERE a.isBlocked='no')-[:isLocatedIn]->"
+        "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+        "(b:Account WHERE b.isBlocked='yes'), "
+        "TRAIL p = (a)-[:Transfer]->+(b) "
+        "RETURN DISTINCT a.owner AS A, b.owner AS B ORDER BY A"
+    )
+    result = benchmark(session.execute, query)
+    assert [(r["A"], r["B"]) for r in result] == _EXPECTED
+
+
+def test_pgq_pgql_form(benchmark, fig1):
+    query = (
+        "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+        "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+        "(y:Account WHERE y.isBlocked='yes'), "
+        "TRAIL (x)-[e:Transfer]->+(y) "
+        "COLUMNS (x.owner AS A, y.owner AS B, COUNT(e) AS hops, "
+        "LISTAGG(e, ', ') AS edges)"
+    )
+    table = benchmark(graph_table, fig1, query)
+    assert sorted(set((d["A"], d["B"]) for d in table.to_dicts())) == _EXPECTED
+
+
+def test_gsql_distinct_form(benchmark, fig1):
+    query = (
+        "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+        "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+        "(y:Account WHERE y.isBlocked='yes'), "
+        "TRAIL (x)-[e:Transfer]->+(y) "
+        "COLUMNS (x.owner AS A, y.owner AS B)"
+    )
+
+    def run():
+        return graph_table(fig1, query).distinct().order_by(["A"])
+
+    table = benchmark(run)
+    assert [tuple(d.values()) for d in table.to_dicts()] == _EXPECTED
+
+
+def test_sparql_endpoint_baseline(benchmark, fig1):
+    # endpoint semantics: pairs only, no paths — and no TRAIL needed
+    def run():
+        return endpoint_pairs(
+            fig1,
+            "MATCH (x WHERE x.isBlocked='no')-[:Transfer]->+"
+            "(y WHERE y.isBlocked='yes')",
+        )
+
+    pairs = benchmark(run)
+    assert ("a2", "a4") in pairs and ("a6", "a4") in pairs
+
+
+def test_gpml_form_scaled(benchmark, bank_medium):
+    prepared = prepare(
+        "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->(g:City)"
+        "<-[:isLocatedIn]-(y:Account WHERE y.isBlocked='yes'), "
+        "ANY SHORTEST (x)-[:Transfer]->+(y)"
+    )
+    result = benchmark(match, bank_medium, prepared)
+    assert all(row["y"]["isBlocked"] == "yes" for row in result)

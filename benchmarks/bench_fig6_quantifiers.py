@@ -1,0 +1,44 @@
+"""FIG6: the quantifier table ({m,n}, {m,}, *, +).
+
+Regenerates Figure 6 as a parameter sweep: bounded windows on a chain
+(exact expected counts), unbounded forms under TRAIL on the banking graph.
+"""
+
+import pytest
+
+from repro.gpml import match, prepare
+
+
+@pytest.mark.parametrize("bounds", ["{1,2}", "{2,4}", "{4,8}", "{8,16}"])
+def test_bounded_window_on_chain(benchmark, chain32, bounds):
+    lower, upper = map(int, bounds.strip("{}").split(","))
+    prepared = prepare(f"MATCH (a)-[e:E]->{bounds}(b)")
+    result = benchmark(match, chain32, prepared)
+    expected = sum(32 - n + 1 for n in range(lower, upper + 1))
+    assert len(result) == expected
+
+
+@pytest.mark.parametrize("form", ["*", "+", "{2,}"])
+def test_unbounded_forms_with_trail(benchmark, fig1, form):
+    prepared = prepare(f"MATCH TRAIL (a:Account)-[e:Transfer]->{form}(b)")
+    result = benchmark(match, fig1, prepared)
+    minimum = {"*": 0, "+": 1, "{2,}": 2}[form]
+    assert all(row.paths[0].length >= minimum for row in result)
+    assert len(result) > 0
+
+
+def test_group_variable_aggregation(benchmark, fig1):
+    prepared = prepare(
+        "MATCH (a:Account) [()-[t:Transfer]->() WHERE t.amount>1M]{2,5} "
+        "(b:Account) WHERE SUM(t.amount)>10M"
+    )
+    result = benchmark(match, fig1, prepared)
+    assert len(result) == 67
+
+
+def test_quantifier_on_paren_scaled(benchmark, bank_medium):
+    prepared = prepare(
+        "MATCH (a:Account) [()-[t:Transfer]->() WHERE t.amount>5M]{2,3} (b:Account)"
+    )
+    result = benchmark(match, bank_medium, prepared)
+    assert all(2 <= len(row["t"]) <= 3 for row in result)

@@ -1,0 +1,61 @@
+"""FIG7: the restrictor table (TRAIL / ACYCLIC / SIMPLE).
+
+Regenerates Figure 7 as a sweep over cycle graphs of growing size —
+restrictors are what make unbounded matching finite, and their costs
+scale differently (TRAIL tracks edges, ACYCLIC/SIMPLE track nodes).
+"""
+
+import pytest
+
+from repro.datasets import cycle_graph
+from repro.gpml import match, prepare
+
+_QUERIES = {
+    "TRAIL": prepare("MATCH TRAIL p = (a)-[e:E]->*(b)"),
+    "ACYCLIC": prepare("MATCH ACYCLIC p = (a)-[e:E]->*(b)"),
+    "SIMPLE": prepare("MATCH SIMPLE p = (a)-[e:E]->*(b)"),
+}
+
+
+@pytest.mark.parametrize("restrictor", list(_QUERIES))
+@pytest.mark.parametrize("size", [4, 8, 12])
+def test_restrictor_on_cycle(benchmark, restrictor, size):
+    graph = cycle_graph(size)
+    result = benchmark(match, graph, _QUERIES[restrictor])
+    lengths = [row.paths[0].length for row in result.rows]
+    if restrictor == "ACYCLIC":
+        # walks of length 0..n-1 from each of n starts
+        assert len(result) == size * size
+        assert max(lengths) == size - 1
+    else:
+        # TRAIL and SIMPLE also admit the full loop back to the start
+        assert len(result) == size * (size + 1)
+        assert max(lengths) == size
+
+
+@pytest.mark.parametrize("restrictor", list(_QUERIES))
+def test_restrictor_on_figure1_transfers(benchmark, fig1, restrictor):
+    prepared = prepare(
+        f"MATCH {restrictor} p = (a:Account)-[e:Transfer]->*(b)"
+    )
+    result = benchmark(match, fig1, prepared)
+    checks = {
+        "TRAIL": lambda p: p.is_trail(),
+        "ACYCLIC": lambda p: p.is_acyclic(),
+        "SIMPLE": lambda p: p.is_simple(),
+    }
+    assert all(checks[restrictor](p) for p in result.paths())
+    assert len(result) > 0
+
+
+def test_subset_relation(fig1):
+    """Figure 7 semantics: ACYCLIC ⊆ SIMPLE ⊆ TRAIL (directed walks)."""
+    results = {
+        name: {str(p) for p in match(fig1, q).paths()}
+        for name, q in [
+            ("ACYCLIC", "MATCH ACYCLIC p = (a:Account)-[:Transfer]->*(b)"),
+            ("SIMPLE", "MATCH SIMPLE p = (a:Account)-[:Transfer]->*(b)"),
+            ("TRAIL", "MATCH TRAIL p = (a:Account)-[:Transfer]->*(b)"),
+        ]
+    }
+    assert results["ACYCLIC"] <= results["SIMPLE"] <= results["TRAIL"]

@@ -1,0 +1,74 @@
+"""FIG8: the selector table (6 selectors) + cheapest extension.
+
+Regenerates Figure 8 as one benchmark per selector on graphs engineered
+to separate them: a diamond chain with 2^k tied shortest paths and a
+monotone grid.  Assertions pin the per-partition selection counts.
+"""
+
+import pytest
+
+from repro.gpml import match, prepare
+
+_SELECTORS = [
+    "ANY",
+    "ANY 3",
+    "ANY SHORTEST",
+    "ALL SHORTEST",
+    "SHORTEST 3",
+    "SHORTEST 2 GROUP",
+]
+
+
+@pytest.mark.parametrize("selector", _SELECTORS)
+def test_selector_on_diamond(benchmark, diamond6, selector):
+    prepared = prepare(f"MATCH {selector} p = (a)-[e:E]->*(b)")
+    result = benchmark(match, diamond6, prepared)
+    source_sink = [
+        p for p in result.paths() if p.source_id == "s0" and p.target_id == "s6"
+    ]
+    if selector == "ALL SHORTEST":
+        assert len(source_sink) == 2**6  # all ties kept
+    elif selector in ("ANY", "ANY SHORTEST"):
+        assert len(source_sink) == 1
+    elif selector in ("ANY 3", "SHORTEST 3"):
+        assert len(source_sink) == 3
+    elif selector == "SHORTEST 2 GROUP":
+        # all walks in the first two length groups
+        lengths = sorted({p.length for p in source_sink})
+        assert len(lengths) <= 2
+
+
+@pytest.mark.parametrize("selector", ["ANY SHORTEST", "ALL SHORTEST", "SHORTEST 2"])
+def test_selector_on_grid(benchmark, grid5, selector):
+    prepared = prepare(
+        f"MATCH {selector} p = (a WHERE a.x=0 AND a.y=0)-[e]->*"
+        "(b WHERE b.x=4 AND b.y=4)"
+    )
+    result = benchmark(match, grid5, prepared)
+    if selector == "ALL SHORTEST":
+        assert len(result) == 70  # C(8,4) lattice paths
+    elif selector == "ANY SHORTEST":
+        assert len(result) == 1
+    else:
+        assert len(result) == 2
+
+
+def test_cheapest_on_weighted_grid(benchmark, grid5):
+    # weight edges by coordinates to make one corner-to-corner path best
+    for edge in grid5.edges():
+        first, _ = edge.endpoint_ids
+        node = grid5.node(first)
+        grid5.set_property(edge.id, "toll", node["x"] + node["y"] + 1)
+    prepared = prepare(
+        "MATCH ANY CHEAPEST COST toll p = (a WHERE a.x=0 AND a.y=0)-[e]->*"
+        "(b WHERE b.x=4 AND b.y=4)"
+    )
+    result = benchmark(match, grid5, prepared)
+    assert len(result) == 1
+
+
+def test_selector_partition_coverage(benchmark, bank_medium):
+    prepared = prepare("MATCH ANY SHORTEST p = (a:Account)-[:Transfer]->+(b:Account)")
+    result = benchmark(match, bank_medium, prepared)
+    endpoints = [(p.source_id, p.target_id) for p in result.paths()]
+    assert len(endpoints) == len(set(endpoints))  # one per partition

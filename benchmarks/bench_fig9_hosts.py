@@ -1,0 +1,93 @@
+"""FIG9: GPML inside its two host languages, end to end.
+
+Regenerates the Figure 9 dataflow: the same graph pattern consumed by the
+GQL host (bindings, paths first-class) and by the SQL/PGQ host
+(GRAPH_TABLE projecting to a relational table), plus the
+tables->graph-view->query pipeline.
+"""
+
+from repro.gql import GqlSession
+from repro.pgq import Catalog, graph_table, tabular_representation
+
+_PATTERN = (
+    "MATCH (a:Account)-[t:Transfer WHERE t.amount > 5M]->(b:Account)"
+)
+
+
+def test_gql_host_pipeline(benchmark, fig1):
+    session = GqlSession(fig1)
+    query = _PATTERN + " RETURN a.owner AS sender, t.amount AS amount ORDER BY amount DESC LIMIT 5"
+    result = benchmark(session.execute, query)
+    assert len(result) == 5
+    assert result.records[0]["amount"] == 10_000_000
+
+
+def test_pgq_host_pipeline(benchmark, fig1):
+    query = _PATTERN + " COLUMNS (a.owner AS sender, b.owner AS receiver, t.amount AS amount)"
+    table = benchmark(graph_table, fig1, query)
+    assert len(table) == 7
+    assert table.columns == ("sender", "receiver", "amount")
+
+
+def test_pgq_sql_composition(benchmark, fig1):
+    query = _PATTERN + " COLUMNS (a.owner AS sender, t.amount AS amount)"
+
+    def run():
+        return (
+            graph_table(fig1, query)
+            .group_by(["sender"], {"total": ("SUM", "amount")})
+            .order_by(["total"], descending=True)
+        )
+
+    table = benchmark(run)
+    assert table.to_dicts()[0]["total"] >= table.to_dicts()[-1]["total"]
+
+
+def test_tables_to_view_to_query(benchmark, fig1):
+    """The full SQL/PGQ loop: relational data -> graph view -> GRAPH_TABLE."""
+    tables = tabular_representation(fig1)
+    ddl = (
+        "CREATE PROPERTY GRAPH bank "
+        "VERTEX TABLES (Account KEY (ID) LABEL Account PROPERTIES (owner, isBlocked)) "
+        "EDGE TABLES (Transfer KEY (ID) SOURCE KEY (SRC) REFERENCES Account "
+        "DESTINATION KEY (DST) REFERENCES Account LABEL Transfer PROPERTIES (date, amount))"
+    )
+
+    def run():
+        catalog = Catalog()
+        catalog.register_table("Account", tables["Account"])
+        catalog.register_table("Transfer", tables["Transfer"])
+        graph = catalog.execute(ddl)
+        return graph_table(
+            graph,
+            "MATCH (a:Account)-[t:Transfer]->(b) COLUMNS (a.owner AS o, t.amount AS v)",
+        )
+
+    table = benchmark(run)
+    assert len(table) == 8
+
+
+def test_gql_graph_output(benchmark, fig1):
+    """Figure 9's 'new graph' output: a match materialized as a graph."""
+    from repro.gql import execute_match_as_graph
+
+    def run():
+        return execute_match_as_graph(
+            fig1,
+            "MATCH TRAIL (x:Account WHERE x.isBlocked='no')"
+            "-[t:Transfer]->+(y:Account WHERE y.isBlocked='yes')",
+        )
+
+    view = benchmark(run)
+    assert view.num_nodes == 6 and view.num_edges == 7
+
+
+def test_gql_host_scaled(benchmark, bank_medium):
+    session = GqlSession(bank_medium)
+    query = (
+        "MATCH (a:Account)-[t:Transfer]->(b:Account) "
+        "RETURN a.owner AS sender, COUNT(b) AS fanout, SUM(t.amount) AS total "
+        "ORDER BY fanout DESC LIMIT 10"
+    )
+    result = benchmark(session.execute, query)
+    assert len(result) == 10

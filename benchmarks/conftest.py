@@ -1,0 +1,56 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (figure or table row); the
+benchmarked callables *assert* the expected result shape, so a bench run
+is also an end-to-end correctness pass.  Graph fixtures are session-scoped
+— construction cost is benchmarked separately in bench_fig1_graph.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.datasets import (  # noqa: E402
+    chain_graph,
+    cycle_graph,
+    diamond_chain,
+    figure1_graph,
+    grid_graph,
+    random_transfer_network,
+)
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    return figure1_graph()
+
+
+@pytest.fixture(scope="session")
+def bank_medium():
+    """A scaled-up banking graph (schema-compatible with Figure 1)."""
+    return random_transfer_network(100, 250, seed=42)
+
+
+@pytest.fixture(scope="session")
+def cycle8():
+    return cycle_graph(8)
+
+
+@pytest.fixture(scope="session")
+def grid5():
+    return grid_graph(5, 5)
+
+
+@pytest.fixture(scope="session")
+def diamond6():
+    return diamond_chain(6)
+
+
+@pytest.fixture(scope="session")
+def chain32():
+    return chain_graph(32)

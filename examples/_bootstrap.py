@@ -1,0 +1,12 @@
+"""Make the examples runnable from a source checkout without installing.
+
+``python examples/quickstart.py`` works either with ``pip install -e .``
+or straight from the repository (this shim adds ``src/`` to sys.path).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,69 @@
+"""Graph outputs and path macros — the forward-looking features.
+
+Section 6.6 of the paper: a GQL implementation can return *graphs*, not
+just tables — "each path binding defines a subgraph of the input graph
+... together with annotations".  Section 7.1 lists path macros as a
+Language Opportunity.  This example exercises both:
+
+1. extract the "suspicious activity" subgraph of the banking graph as a
+   new property graph, annotated with the variables that matched,
+2. query the extracted view like any other graph (views compose),
+3. define reusable pattern macros and build the Figure 4 query from them.
+"""
+
+import _bootstrap  # noqa: F401
+
+from repro import figure1_graph, match
+from repro.extensions import MacroRegistry
+from repro.gql import binding_subgraph, execute_match_as_graph
+from repro.graph import graph_to_json
+
+
+def main() -> None:
+    graph = figure1_graph()
+
+    # 1. A match result as a new annotated graph -----------------------
+    view = execute_match_as_graph(
+        graph,
+        "MATCH TRAIL (x:Account WHERE x.isBlocked='no')"
+        "-[t:Transfer]->+(y:Account WHERE y.isBlocked='yes')",
+        name="suspicious_activity",
+    )
+    print(f"suspicious-activity view: {view}")
+    for node in sorted(view.nodes()):
+        bound = node.get("_bound_to", "-")
+        print(f"    {node.id}: owner={node['owner']}, matched as {bound}")
+
+    # 2. Views are ordinary graphs: query them again --------------------
+    inner = match(view, "MATCH ANY SHORTEST p = (a)-[:Transfer]->+(b WHERE b.isBlocked='yes')")
+    print("\nshortest suspicious routes inside the view:")
+    for row in sorted(inner, key=lambda r: r["p"].length):
+        print(f"    {row['p']}")
+
+    # 3. One binding as its own subgraph ---------------------------------
+    result = match(
+        graph,
+        "MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->"
+        "(d:Account)~[:hasPhone]~(p)",
+    )
+    first = binding_subgraph(graph, result.rows[0], name="one_binding")
+    print(f"\none shared-phone binding as a graph: {first}")
+    print(graph_to_json(first, indent=2)[:400], "...")
+
+    # 4. Path macros (Section 7.1 Language Opportunity) -------------------
+    macros = MacroRegistry()
+    macros.define("in_am", "-[:isLocatedIn]->(g:City WHERE g.name='Ankh-Morpork')")
+    macros.define("suspicious_chain", "TRAIL (x)-[:Transfer]->+(y)")
+    result = macros.match(
+        graph,
+        "MATCH (x:Account WHERE x.isBlocked='no') $in_am$, "
+        "(y:Account WHERE y.isBlocked='yes') $in_am$, "
+        "$suspicious_chain$",
+    )
+    print("\nFigure 4 via macros:")
+    for pair in sorted({(r["x"]["owner"], r["y"]["owner"]) for r in result}):
+        print(f"    {pair[0]} -> {pair[1]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Quickstart: build a graph, run GPML patterns, read the results.
+
+Walks through the core API in five minutes:
+
+1. build a property graph with :class:`GraphBuilder`,
+2. run MATCH statements with :func:`match`,
+3. read nodes/edges/paths from the result rows,
+4. see restrictors and selectors bound an unbounded search,
+5. inspect the execution plan with :func:`explain`.
+"""
+
+import _bootstrap  # noqa: F401
+
+from repro import GraphBuilder, match
+from repro.gpml.explain import explain
+
+
+def main() -> None:
+    # 1. A little social-payments graph ------------------------------
+    graph = (
+        GraphBuilder("payments")
+        .node("alice", "Person", name="Alice", city="Ankh-Morpork")
+        .node("bob", "Person", name="Bob", city="Ankh-Morpork")
+        .node("carol", "Person", name="Carol", city="Zembla")
+        .node("dave", "Person", name="Dave", city="Zembla")
+        .directed("p1", "alice", "bob", "Paid", amount=30)
+        .directed("p2", "bob", "carol", "Paid", amount=45)
+        .directed("p3", "carol", "alice", "Paid", amount=20)
+        .directed("p4", "carol", "dave", "Paid", amount=90)
+        .undirected("f1", "alice", "carol", "Friend")
+        .build()
+    )
+    print(f"graph: {graph}")
+
+    # 2. Node patterns ------------------------------------------------
+    result = match(graph, "MATCH (p:Person WHERE p.city='Ankh-Morpork')")
+    print("\npeople in Ankh-Morpork:")
+    for row in result:
+        print("   ", row["p"]["name"])
+
+    # 3. Path patterns: who paid whom, with the amounts ---------------
+    result = match(graph, "MATCH (a:Person)-[t:Paid WHERE t.amount > 25]->(b)")
+    print("\npayments over 25:")
+    for row in result:
+        print(f"    {row['a']['name']} -> {row['b']['name']}: {row['t']['amount']}")
+
+    # 4. Unbounded patterns need a restrictor or selector -------------
+    result = match(
+        graph,
+        "MATCH TRAIL p = (a WHERE a.name='Alice')-[:Paid]->+(b)",
+    )
+    print("\npayment chains from Alice (TRAIL bounds the search):")
+    for row in sorted(result, key=lambda r: r["p"].length):
+        chain = " -> ".join(graph.node(n)["name"] for n in row["p"].node_ids)
+        print(f"    {chain}")
+
+    shortest = match(
+        graph,
+        "MATCH ANY SHORTEST p = (a WHERE a.name='Alice')-[:Paid]->+"
+        "(b WHERE b.name='Dave')",
+    )
+    print("\nshortest payment route Alice -> Dave:")
+    for row in shortest:
+        print("   ", row["p"])
+
+    # 5. What will the engine do? --------------------------------------
+    print("\nexecution plan for the shortest-route query:")
+    print(
+        explain(
+            "MATCH ANY SHORTEST p = (a WHERE a.name='Alice')-[:Paid]->+"
+            "(b WHERE b.name='Dave')"
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

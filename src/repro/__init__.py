@@ -1,0 +1,37 @@
+"""repro — a reproduction of "Graph Pattern Matching in GQL and SQL/PGQ".
+
+The package implements GPML (the graph pattern matching language shared by
+the ISO GQL and SQL/PGQ standards) end to end on an in-memory property
+graph substrate, together with both host-language surfaces, baselines and
+the paper's worked examples.
+
+Quickstart::
+
+    from repro import figure1_graph, match
+
+    graph = figure1_graph()
+    result = match(graph, "MATCH (x:Account WHERE x.isBlocked='no')")
+    for row in result:
+        print(row["x"])
+"""
+
+from repro.datasets import figure1_graph
+from repro.graph import GraphBuilder, Path, PropertyGraph
+from repro.gpml import MatchResult, PreparedQuery, match, prepare
+from repro.values import NULL, TruthValue
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GraphBuilder",
+    "MatchResult",
+    "NULL",
+    "Path",
+    "PreparedQuery",
+    "PropertyGraph",
+    "TruthValue",
+    "figure1_graph",
+    "match",
+    "prepare",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Cypher-semantics baseline: whole-pattern relationship isomorphism.
+
+Cypher (Section 3 of the paper; Francis et al. 2018) never matches the
+same relationship twice within one MATCH clause — a global trail
+condition across *all* pattern parts.  GPML instead scopes TRAIL per path
+pattern (or parenthesized pattern), and lists a whole-pattern
+edge-isomorphic match mode as a Language Opportunity (Section 7.1).
+
+``cypher_match`` runs the GPML engine and then enforces Cypher's rule,
+making the semantic gap between the two languages directly observable:
+
+>>> # a 2-step pattern over a single edge A->B and back is a GPML match
+>>> # (walks may repeat edges) but not a Cypher match.
+"""
+
+from __future__ import annotations
+
+from repro.extensions.match_modes import filter_edge_isomorphic
+from repro.gpml.engine import MatchResult, match
+from repro.gpml.matcher import MatcherConfig
+from repro.graph.model import PropertyGraph
+
+
+def cypher_match(
+    graph: PropertyGraph, query: str, config: MatcherConfig | None = None
+) -> MatchResult:
+    """GPML evaluation followed by Cypher's no-repeated-edge rule."""
+    result = match(graph, query, config)
+    return filter_edge_isomorphic(result)

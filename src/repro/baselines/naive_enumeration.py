@@ -1,0 +1,100 @@
+"""Naive generate-and-test baseline.
+
+Enumerates walks of the graph blindly (DFS over incidences, without the
+pattern automaton steering the search), then tests each complete walk
+against the compiled pattern by running the NFA *along that walk*.  Both
+engines produce identical results; the naive engine pays for every walk
+the product-graph matcher would have pruned after one edge — this is the
+ablation baseline for the pruning benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import GpmlEvaluationError
+from repro.gpml.bindings import PathBinding, deduplicate, reduce_binding
+from repro.gpml.engine import MatchResult, assemble_result, prepare
+from repro.gpml.matcher import Matcher, MatcherConfig
+from repro.gpml.selectors import apply_selector
+from repro.graph.model import PropertyGraph
+
+
+def _walks(graph: PropertyGraph, max_length: int, trail_only: bool) -> Iterator[tuple]:
+    """All walks (alternating node/edge id tuples) up to max_length edges."""
+    for start in sorted(graph.node_ids()):
+        stack: list[tuple[tuple, frozenset]] = [((start,), frozenset())]
+        while stack:
+            elements, used = stack.pop()
+            yield elements
+            if (len(elements) - 1) // 2 >= max_length:
+                continue
+            node = elements[-1]
+            for inc in graph.incidences(node):
+                if trail_only and inc.edge in used:
+                    continue
+                stack.append((elements + (inc.edge, inc.other), used | {inc.edge}))
+
+
+class _WalkConstrainedMatcher(Matcher):
+    """The production matcher, forced to follow one fixed walk.
+
+    Used as the *test* phase of generate-and-test: the only freedom left
+    to the automaton is how it parses the walk (which iteration/branch
+    choices it makes), exactly like testing a string against a regex.
+    """
+
+    def __init__(self, graph, nfa, pattern, walk: tuple):
+        super().__init__(graph, nfa, pattern, MatcherConfig())
+        self._walk = walk
+        self._num_edges = (len(walk) - 1) // 2
+
+    def _initial_candidates(self):
+        return [self._walk[0]]
+
+    def _edge_successors(self, run, cost_property=None):
+        if run.path_len >= self._num_edges:
+            return
+        forced_edge = self._walk[2 * run.path_len + 1]
+        forced_node = self._walk[2 * run.path_len + 2]
+        for successor in super()._edge_successors(run, cost_property):
+            last_edge = successor.path_cell[0][1]
+            if last_edge == forced_edge and successor.node == forced_node:
+                yield successor
+
+    def _accept(self, run):
+        if run.path_len != self._num_edges:
+            return None
+        return super()._accept(run)
+
+
+def naive_walk_match(graph: PropertyGraph, query: str, max_length: int) -> MatchResult:
+    """Generate-and-test with a hard length bound (bounded patterns)."""
+    return _naive(graph, query, max_length, trail_only=False)
+
+
+def naive_trail_match(graph: PropertyGraph, query: str) -> MatchResult:
+    """Generate-and-test over all trails (for TRAIL-restricted patterns)."""
+    return _naive(graph, query, graph.num_edges, trail_only=True)
+
+
+def _naive(
+    graph: PropertyGraph, query: str, max_length: int, trail_only: bool
+) -> MatchResult:
+    prepared = prepare(query)
+    if prepared.num_path_patterns != 1:
+        raise GpmlEvaluationError("naive baseline evaluates one path pattern")
+    path = prepared.normalized.paths[0]
+    analysis = prepared.analysis.paths[0]
+
+    raw: list[PathBinding] = []
+    for walk in _walks(graph, max_length, trail_only):
+        matcher = _WalkConstrainedMatcher(graph, prepared.nfas[0], path.pattern, walk)
+        raw.extend(matcher.enumerate_all())
+    reduced = [
+        reduce_binding(b, analysis.group_vars, analysis.anonymous_vars) for b in raw
+    ]
+    solutions = deduplicate(reduced)
+    solutions.sort(key=lambda s: s.sort_key())
+    solutions = apply_selector(path.selector, solutions, graph, 1.0)
+    return assemble_result(graph, prepared, [solutions])

@@ -1,0 +1,160 @@
+"""SPARQL property-path baseline: endpoint semantics.
+
+SPARQL 1.1 evaluates property paths by *reachability*: ``?x Transfer+ ?y``
+returns the pairs of nodes connected by some path, never the paths
+themselves — the W3C chose this after the counting semantics proved
+intractable (Section 3 of the paper, citing Arenas/Conca/Pérez and
+Losemann/Martens).
+
+The evaluator here is faithful to that approach: a product BFS over
+(graph node, automaton state) pairs with *no* path or binding tracking,
+which is why it runs in polynomial time where path-returning semantics
+can produce exponentially many results.  Patterns are restricted to what
+SPARQL can express: one path pattern, label tests, quantifiers, unions,
+and element WHERE clauses that only reference their own variable.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GpmlEvaluationError
+from repro.gpml import ast
+from repro.gpml.automaton import (
+    BagTag,
+    EnterQuant,
+    ExitQuant,
+    IterBegin,
+    NodeTest,
+    ScopeBegin,
+    ScopeEnd,
+    compile_path_pattern,
+)
+from repro.gpml.expr import EvalContext
+from repro.gpml.normalize import normalize_graph_pattern
+from repro.gpml.parser import parse_match
+from repro.graph.model import PropertyGraph
+
+
+class _NoDeferred:
+    """Stand-in analysis: endpoint patterns have only local filters."""
+
+    deferred_wheres: frozenset = frozenset()
+
+
+def endpoint_pairs(graph: PropertyGraph, query: str) -> set[tuple[str, str]]:
+    """All (start, end) node pairs connected by a match of the pattern.
+
+    This is the entire result SPARQL-style endpoint semantics can give:
+    no bindings, no paths, no multiplicities.  Unbounded quantifiers need
+    no restrictor or selector here — reachability is finite by nature,
+    which is exactly why SPARQL chose this semantics (Section 3).
+    """
+    normalized = normalize_graph_pattern(parse_match(query))
+    if normalized.where is not None:
+        raise GpmlEvaluationError("endpoint semantics has no postfilter")
+    if len(normalized.paths) != 1:
+        raise GpmlEvaluationError("endpoint semantics evaluates one path pattern")
+    path = normalized.paths[0]
+    _check_supported(path)
+    nfa = compile_path_pattern(path, _NoDeferred())
+
+    pairs: set[tuple[str, str]] = set()
+    for start in sorted(graph.node_ids()):
+        # product BFS from this start node; states carry no bindings.
+        initial = _eps_closure(graph, nfa, {(nfa.start, (), start)})
+        seen = set(initial)
+        frontier = initial
+        while frontier:
+            next_frontier: set[tuple] = set()
+            for state, counters, node in frontier:
+                if state == nfa.accept:
+                    pairs.add((start, node))
+                for transition in nfa.edges[state]:
+                    for inc in graph.incidences(node):
+                        if not transition.pattern.orientation.admits(inc.direction):
+                            continue
+                        if not _edge_ok(graph, transition.pattern, inc.edge):
+                            continue
+                        candidate = (transition.target, counters, inc.other)
+                        next_frontier.add(candidate)
+            next_frontier = _eps_closure(graph, nfa, next_frontier)
+            # accept states inside the closure are handled next round;
+            # make sure terminal-only states are not lost:
+            for item in next_frontier:
+                if item[0] == nfa.accept:
+                    pairs.add((start, item[2]))
+            frontier = next_frontier - seen
+            seen |= frontier
+    return pairs
+
+
+def _eps_closure(graph: PropertyGraph, nfa, states: set[tuple]) -> set[tuple]:
+    out = set(states)
+    stack = list(states)
+    while stack:
+        state, counters, node = stack.pop()
+        for eps in nfa.epsilons[state]:
+            successor = _apply(graph, eps.action, eps.target, counters, node)
+            if successor is not None and successor not in out:
+                out.add(successor)
+                stack.append(successor)
+    return out
+
+
+def _apply(graph: PropertyGraph, action, target: int, counters: tuple, node: str):
+    if action is None or isinstance(action, (ScopeBegin, ScopeEnd, BagTag)):
+        if isinstance(action, ScopeBegin) and action.restrictor is not None:
+            raise GpmlEvaluationError(
+                "endpoint semantics does not support restrictors (SPARQL has none)"
+            )
+        return (target, counters, node)
+    if isinstance(action, NodeTest):
+        pattern = action.pattern
+        if pattern.label is not None and not pattern.label.matches(graph.labels_of(node)):
+            return None
+        if pattern.where is not None:
+            ctx = EvalContext(bindings={pattern.var: graph.node(node)}, graph=graph)
+            if not pattern.where.truth(ctx):
+                return None
+        return (target, counters, node)
+    if isinstance(action, EnterQuant):
+        return (target, counters + ((action.quant_id, 0),), node)
+    if isinstance(action, IterBegin):
+        count = dict(counters).get(action.quant_id, 0)
+        if action.upper is not None and count >= action.upper:
+            return None
+        items = [(q, c) for q, c in counters if q != action.quant_id]
+        items.append((action.quant_id, min(count + 1, action.cap)))
+        return (target, tuple(sorted(items)), node)
+    if isinstance(action, ExitQuant):
+        count = dict(counters).get(action.quant_id, 0)
+        if count < action.lower:
+            return None
+        items = tuple((q, c) for q, c in counters if q != action.quant_id)
+        return (target, items, node)
+    raise GpmlEvaluationError(f"unsupported automaton action {action!r}")
+
+
+def _edge_ok(graph: PropertyGraph, pattern: ast.EdgePattern, edge_id: str) -> bool:
+    if pattern.label is not None and not pattern.label.matches(graph.labels_of(edge_id)):
+        return False
+    if pattern.where is not None:
+        ctx = EvalContext(bindings={pattern.var: graph.edge(edge_id)}, graph=graph)
+        if not pattern.where.truth(ctx):
+            return False
+    return True
+
+
+def _check_supported(path: ast.PathPattern) -> None:
+    if path.selector is not None or path.restrictor is not None:
+        raise GpmlEvaluationError(
+            "endpoint semantics has no selectors or restrictors; SPARQL "
+            "avoids infinite results by returning endpoints only"
+        )
+    for node in path.pattern.walk():
+        if isinstance(node, (ast.NodePattern, ast.EdgePattern)):
+            if node.where is not None and node.where.variables() - {node.var}:
+                raise GpmlEvaluationError(
+                    "endpoint semantics supports only local element filters"
+                )
+        if isinstance(node, ast.ParenPattern) and node.restrictor is not None:
+            raise GpmlEvaluationError("endpoint semantics does not support restrictors")

@@ -1,0 +1,94 @@
+"""Command-line interface: run GPML queries against JSON graphs.
+
+Usage::
+
+    python -m repro 'MATCH (x:Account WHERE x.isBlocked="no")'
+    python -m repro --graph mygraph.json --format json 'MATCH (a)-[e]->(b)'
+    python -m repro --explain 'MATCH ANY SHORTEST p = (a)->*(b)'
+
+With no ``--graph``, queries run against the paper's Figure 1 banking
+graph.  Single or double quotes work for string literals (double quotes
+are normalized so shell quoting stays sane).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.datasets import figure1_graph
+from repro.errors import ReproError
+from repro.extensions.json_export import result_to_json
+from repro.gpml.engine import MatchResult, match
+from repro.gpml.explain import explain
+from repro.graph.serialization import graph_from_json
+
+
+def _load_graph(path: str | None):
+    if path is None:
+        return figure1_graph()
+    with open(path, "r", encoding="utf-8") as handle:
+        return graph_from_json(handle.read())
+
+
+def _render_table(result: MatchResult) -> str:
+    if not result.variables:
+        return f"{len(result)} match(es)"
+    header = " | ".join(result.variables)
+    lines = [header, "-" * len(header)]
+    for row in result.to_dicts():
+        lines.append(" | ".join(str(row[name]) for name in result.variables))
+    lines.append(f"({len(result)} row(s))")
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run GPML (GQL / SQL/PGQ) pattern matching queries.",
+    )
+    parser.add_argument("query", help="a MATCH statement")
+    parser.add_argument(
+        "--graph", metavar="FILE", default=None,
+        help="JSON graph file (default: the paper's Figure 1 banking graph)",
+    )
+    parser.add_argument(
+        "--format", choices=("table", "json", "paths"), default="table",
+        help="output format (default: table)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the execution plan instead of running the query",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    # shells prefer double quotes; GPML strings use single quotes
+    query = args.query.replace('"', "'")
+    try:
+        if args.explain:
+            print(explain(query))
+            return 0
+        graph = _load_graph(args.graph)
+        result = match(graph, query)
+        if args.format == "json":
+            print(result_to_json(result))
+        elif args.format == "paths":
+            for row in result.rows:
+                for path in row.paths:
+                    print(path)
+        else:
+            print(_render_table(result))
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main()
+    sys.exit(main())

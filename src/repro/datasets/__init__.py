@@ -1,0 +1,22 @@
+"""Datasets: the paper's Figure 1 graph and synthetic workload generators."""
+
+from repro.datasets.figure1 import figure1_graph, FIGURE1_OWNERS
+from repro.datasets.generators import (
+    chain_graph,
+    clique_transfer_graph,
+    cycle_graph,
+    diamond_chain,
+    grid_graph,
+    random_transfer_network,
+)
+
+__all__ = [
+    "FIGURE1_OWNERS",
+    "chain_graph",
+    "clique_transfer_graph",
+    "cycle_graph",
+    "diamond_chain",
+    "figure1_graph",
+    "grid_graph",
+    "random_transfer_network",
+]

@@ -1,0 +1,113 @@
+"""Exact reconstruction of the paper's Figure 1 banking graph.
+
+The figure shows bank accounts, their locations, phones, IP addresses and
+financial transfers.  The graphics (edge directions, phone attachments)
+are not present in the text dump of the paper, so every edge below is
+cross-checked against statements in the running text:
+
+* ``path(c1,li1,a1,t1,a3,hp3,p2)`` (Section 2): li1 = a1→c1 traversed in
+  reverse; t1 = a1→a3; hp3 connects a3 and p2 (undirected).
+* Section 4.2's two-step example binds s↦a6, e↦t5, m↦a3, f↦t2, t↦a2,
+  fixing t5 = a6→a3 and t2 = a3→a2.
+* Section 4.2's shared-phone query returns exactly (p1,a5,t8,a1) and
+  (p2,a3,t2,a2), fixing t8 = a5→a1 and the phone attachments
+  p1~{a1,a5}, p2~{a2,a3}; p3 and p4 must not be shared across a transfer,
+  so p3~a4, p4~a6 (matching the hp_k ~ a_k numbering).
+* Section 5.1's TRAIL example paths fix t6 = a6→a5, t7 = a3→a5,
+  t1 = a1→a3, t3 = a2→a4, t4 = a4→a6.
+* Section 6's join tables fix li_k = a_k → (c1 or c2) with
+  a1,a3,a5 → c1 and a2,a4,a6 → c2.
+* Figure 2 fixes sip1 = a1→ip1 and sip2 = a5→ip2, and the node property
+  tables (owners, isBlocked, dates, amounts, numbers, names).
+
+Amounts use integers (8M = 8_000_000); dates are kept as the paper's
+string form ``"1/1/2020"``.
+"""
+
+from __future__ import annotations
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import PropertyGraph
+
+#: owner property per account node, for test readability.
+FIGURE1_OWNERS = {
+    "a1": "Scott",
+    "a2": "Aretha",
+    "a3": "Mike",
+    "a4": "Jay",
+    "a5": "Charles",
+    "a6": "Dave",
+}
+
+_M = 1_000_000
+
+
+def figure1_graph() -> PropertyGraph:
+    """Build a fresh copy of the Figure 1 property graph."""
+    builder = GraphBuilder("figure1")
+
+    # --- Accounts -----------------------------------------------------
+    blocked = {"a4"}
+    for node_id, owner in FIGURE1_OWNERS.items():
+        builder.node(
+            node_id,
+            "Account",
+            owner=owner,
+            isBlocked="yes" if node_id in blocked else "no",
+        )
+
+    # --- Places -------------------------------------------------------
+    builder.node("c1", "Country", name="Zembla")
+    builder.node("c2", "City", "Country", name="Ankh-Morpork")
+
+    # --- Phones and IPs -------------------------------------------------
+    builder.node("p1", "Phone", number=111, isBlocked="no")
+    builder.node("p2", "Phone", number=222, isBlocked="no")
+    builder.node("p3", "Phone", number=333, isBlocked="no")
+    builder.node("p4", "Phone", number=444, isBlocked="no")
+    builder.node("ip1", "IP", number="123.111", isBlocked="no")
+    builder.node("ip2", "IP", number="123.222", isBlocked="no")
+
+    # --- Transfers (directed) -----------------------------------------
+    transfers = [
+        ("t1", "a1", "a3", "1/1/2020", 8 * _M),
+        ("t2", "a3", "a2", "2/1/2020", 10 * _M),
+        ("t3", "a2", "a4", "3/1/2020", 10 * _M),
+        ("t4", "a4", "a6", "4/1/2020", 10 * _M),
+        ("t5", "a6", "a3", "6/1/2020", 10 * _M),
+        ("t6", "a6", "a5", "7/1/2020", 4 * _M),
+        ("t7", "a3", "a5", "8/1/2020", 6 * _M),
+        ("t8", "a5", "a1", "9/1/2020", 9 * _M),
+    ]
+    for edge_id, src, dst, date, amount in transfers:
+        builder.directed(edge_id, src, dst, "Transfer", date=date, amount=amount)
+
+    # --- isLocatedIn (directed: account -> city/country) ---------------
+    located = {
+        "li1": ("a1", "c1"),
+        "li2": ("a2", "c2"),
+        "li3": ("a3", "c1"),
+        "li4": ("a4", "c2"),
+        "li5": ("a5", "c1"),
+        "li6": ("a6", "c2"),
+    }
+    for edge_id, (src, dst) in located.items():
+        builder.directed(edge_id, src, dst, "isLocatedIn")
+
+    # --- hasPhone (undirected) -----------------------------------------
+    phones = {
+        "hp1": ("a1", "p1"),
+        "hp2": ("a2", "p2"),
+        "hp3": ("a3", "p2"),
+        "hp4": ("a4", "p3"),
+        "hp5": ("a5", "p1"),
+        "hp6": ("a6", "p4"),
+    }
+    for edge_id, (account, phone) in phones.items():
+        builder.undirected(edge_id, account, phone, "hasPhone")
+
+    # --- signInWithIP (directed: account -> IP, per Figure 2) -----------
+    builder.directed("sip1", "a1", "ip1", "signInWithIP")
+    builder.directed("sip2", "a5", "ip2", "signInWithIP")
+
+    return builder.build()

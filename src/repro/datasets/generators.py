@@ -1,0 +1,146 @@
+"""Synthetic workload generators for benchmarks and property-based tests.
+
+All generators are deterministic given their parameters (random ones take a
+``seed``) so benchmark runs are reproducible.  The shapes were chosen to
+stress specific language features:
+
+* :func:`chain_graph` — quantifier sweeps ({m,n} on a line has exactly one
+  match per window),
+* :func:`cycle_graph` — termination pressure (unbounded quantifiers find
+  infinitely many walks; restrictors/selectors must bound them),
+* :func:`diamond_chain` — exponentially many shortest paths (2^k), the
+  worst case for ALL SHORTEST and a separator between ANY and ALL,
+* :func:`grid_graph` — many same-length alternatives for selector benches,
+* :func:`clique_transfer_graph` — dense joins,
+* :func:`random_transfer_network` — a scaled-up version of the Figure 1
+  schema (accounts, transfers, phones, cities) for end-to-end benches.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.builder import GraphBuilder
+from repro.graph.model import PropertyGraph
+
+
+def chain_graph(length: int, node_label: str = "N", edge_label: str = "E") -> PropertyGraph:
+    """A directed path n0 -> n1 -> ... -> n<length> (length = #edges)."""
+    builder = GraphBuilder(f"chain{length}")
+    for i in range(length + 1):
+        builder.node(f"n{i}", node_label, index=i)
+    for i in range(length):
+        builder.directed(f"e{i}", f"n{i}", f"n{i + 1}", edge_label, index=i)
+    return builder.build()
+
+
+def cycle_graph(length: int, node_label: str = "N", edge_label: str = "E") -> PropertyGraph:
+    """A directed cycle of *length* nodes and edges."""
+    if length < 1:
+        raise ValueError("cycle length must be >= 1")
+    builder = GraphBuilder(f"cycle{length}")
+    for i in range(length):
+        builder.node(f"n{i}", node_label, index=i)
+    for i in range(length):
+        builder.directed(f"e{i}", f"n{i}", f"n{(i + 1) % length}", edge_label, index=i)
+    return builder.build()
+
+
+def diamond_chain(num_diamonds: int, edge_label: str = "E") -> PropertyGraph:
+    """A chain of diamonds; source-to-sink has exactly 2^k shortest paths.
+
+    Each diamond is  s -> {top, bottom} -> t ; diamonds are chained, so a
+    walk from the first source to the last sink makes k independent binary
+    choices, all of the same length 2k.
+    """
+    builder = GraphBuilder(f"diamond{num_diamonds}")
+    builder.node("s0", "N")
+    for k in range(num_diamonds):
+        builder.node(f"u{k}", "N")
+        builder.node(f"d{k}", "N")
+        builder.node(f"s{k + 1}", "N")
+        builder.directed(f"eu{k}", f"s{k}", f"u{k}", edge_label, branch="up")
+        builder.directed(f"ed{k}", f"s{k}", f"d{k}", edge_label, branch="down")
+        builder.directed(f"fu{k}", f"u{k}", f"s{k + 1}", edge_label, branch="up")
+        builder.directed(f"fd{k}", f"d{k}", f"s{k + 1}", edge_label, branch="down")
+    return builder.build()
+
+
+def grid_graph(width: int, height: int, edge_label: str = "E") -> PropertyGraph:
+    """A directed grid with east and south edges (monotone lattice paths)."""
+    builder = GraphBuilder(f"grid{width}x{height}")
+    for x in range(width):
+        for y in range(height):
+            builder.node(f"n{x}_{y}", "N", x=x, y=y)
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                builder.directed(f"e{x}_{y}", f"n{x}_{y}", f"n{x + 1}_{y}", edge_label)
+            if y + 1 < height:
+                builder.directed(f"s{x}_{y}", f"n{x}_{y}", f"n{x}_{y + 1}", edge_label)
+    return builder.build()
+
+
+def clique_transfer_graph(num_nodes: int) -> PropertyGraph:
+    """A complete directed graph of Account nodes with Transfer edges."""
+    builder = GraphBuilder(f"clique{num_nodes}")
+    for i in range(num_nodes):
+        builder.node(f"a{i}", "Account", owner=f"owner{i}", isBlocked="no")
+    k = 0
+    for i in range(num_nodes):
+        for j in range(num_nodes):
+            if i != j:
+                builder.directed(
+                    f"t{k}", f"a{i}", f"a{j}", "Transfer", amount=(k % 10 + 1) * 1_000_000
+                )
+                k += 1
+    return builder.build()
+
+
+def random_transfer_network(
+    num_accounts: int,
+    num_transfers: int,
+    seed: int = 0,
+    blocked_fraction: float = 0.1,
+    num_cities: int = 3,
+    phones_per_account: float = 1.0,
+) -> PropertyGraph:
+    """A scaled-up Figure 1: accounts, transfers, cities, phones.
+
+    Edge directions, amounts and dates are drawn from a seeded RNG; the
+    schema (labels and property names) matches the paper's banking graph so
+    every example query runs unchanged on the synthetic data.
+    """
+    rng = random.Random(seed)
+    builder = GraphBuilder(f"bank_{num_accounts}x{num_transfers}_s{seed}")
+
+    for c in range(num_cities):
+        builder.node(f"c{c}", "City", "Country", name=f"city{c}")
+
+    for i in range(num_accounts):
+        builder.node(
+            f"a{i}",
+            "Account",
+            owner=f"owner{i}",
+            isBlocked="yes" if rng.random() < blocked_fraction else "no",
+        )
+        builder.directed(f"li{i}", f"a{i}", f"c{rng.randrange(num_cities)}", "isLocatedIn")
+
+    num_phones = max(1, int(num_accounts * phones_per_account))
+    for p in range(num_phones):
+        builder.node(f"p{p}", "Phone", number=100 + p, isBlocked="no")
+    for i in range(num_accounts):
+        builder.undirected(f"hp{i}", f"a{i}", f"p{rng.randrange(num_phones)}", "hasPhone")
+
+    for t in range(num_transfers):
+        src = rng.randrange(num_accounts)
+        dst = rng.randrange(num_accounts)
+        builder.directed(
+            f"t{t}",
+            f"a{src}",
+            f"a{dst}",
+            "Transfer",
+            amount=rng.randrange(1, 20) * 1_000_000,
+            date=f"{rng.randrange(1, 13)}/1/2020",
+        )
+    return builder.build()

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Sub-hierarchies mirror the query
+pipeline: lexing/parsing, static analysis, evaluation, and the host
+languages (SQL/PGQ and GQL).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid operation on a property graph (unknown id, duplicate id, ...)."""
+
+
+class PathError(GraphError):
+    """Invalid path construction (non-alternating sequence, disconnected step)."""
+
+
+class GpmlError(ReproError):
+    """Base class for errors in the GPML sub-language."""
+
+
+class GpmlSyntaxError(GpmlError):
+    """Lexical or grammatical error in a GPML query string."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+
+
+class GpmlAnalysisError(GpmlError):
+    """Static-analysis error: the query is syntactically valid but illegal."""
+
+
+class NonTerminationError(GpmlAnalysisError):
+    """The query violates the termination rules of Section 5.
+
+    Raised when an unbounded quantifier is not in the scope of a restrictor
+    or a selector, or when a prefilter aggregates an effectively unbounded
+    group variable (Section 5.3).
+    """
+
+
+class ConditionalJoinError(GpmlAnalysisError):
+    """An implicit equi-join on a conditional singleton variable (Section 4.6)."""
+
+
+class VariableScopeError(GpmlAnalysisError):
+    """A variable is used inconsistently (e.g. as node and edge, or at
+    conflicting quantification depths)."""
+
+
+class GpmlEvaluationError(GpmlError):
+    """Runtime error while evaluating a pattern against a graph."""
+
+
+class ExpressionError(GpmlEvaluationError):
+    """Type or reference error while evaluating a value expression."""
+
+
+class BudgetExceededError(GpmlEvaluationError):
+    """An engine safety budget (max path length / max matches) was hit.
+
+    This signals a configuration problem rather than non-termination: the
+    static analyzer proves termination, and the budget exists only to bound
+    pathological-but-finite searches.
+    """
+
+
+class PgqError(ReproError):
+    """Base class for errors raised by the SQL/PGQ host layer."""
+
+
+class TableError(PgqError):
+    """Invalid relational operation (unknown column, arity mismatch, ...)."""
+
+
+class DdlError(PgqError):
+    """Invalid CREATE PROPERTY GRAPH statement."""
+
+
+class GqlError(ReproError):
+    """Base class for errors raised by the GQL host layer."""

@@ -1,0 +1,63 @@
+"""Exporting bindings and paths to JSON (Section 7.1 Language Opportunity).
+
+"Exporting a graph element or path binding to JSON" — elements export as
+``{"id", "labels", "properties"}`` objects (edges add endpoints and
+directedness), paths as an object with the element sequence, group
+variables as arrays, NULL as JSON null.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.gpml.engine import MatchResult
+from repro.graph.model import Edge, Node
+from repro.graph.path import Path
+from repro.values import is_null
+
+
+def element_to_jsonable(element: "Node | Edge") -> dict[str, Any]:
+    data: dict[str, Any] = {
+        "id": element.id,
+        "labels": sorted(element.labels),
+        "properties": dict(element.properties),
+    }
+    if isinstance(element, Edge):
+        first, second = element.endpoint_ids
+        data["from"] = first
+        data["to"] = second
+        data["directed"] = element.is_directed
+    return data
+
+
+def path_to_jsonable(path: Path) -> dict[str, Any]:
+    return {
+        "length": path.length,
+        "nodes": list(path.node_ids),
+        "edges": list(path.edge_ids),
+        "elements": list(path.element_ids),
+    }
+
+
+def value_to_jsonable(value: Any) -> Any:
+    if is_null(value):
+        return None
+    if isinstance(value, (Node, Edge)):
+        return element_to_jsonable(value)
+    if isinstance(value, Path):
+        return path_to_jsonable(value)
+    if isinstance(value, (list, tuple)):
+        return [value_to_jsonable(v) for v in value]
+    return value
+
+
+def result_to_jsonable(result: MatchResult) -> list[dict[str, Any]]:
+    return [
+        {name: value_to_jsonable(row[name]) for name in result.variables}
+        for row in result.rows
+    ]
+
+
+def result_to_json(result: MatchResult, indent: int | None = 2) -> str:
+    return json.dumps(result_to_jsonable(result), indent=indent)

@@ -1,0 +1,72 @@
+"""Path macros (Section 7.1 Language Opportunity).
+
+"Path macros for multiple use in a query" — named pattern fragments that
+can be referenced several times.  The standard has not fixed a syntax;
+this prototype uses ``$name$`` references expanded textually before
+parsing, with expansion-time cycle detection:
+
+>>> macros = MacroRegistry()
+>>> macros.define("hop", "-[:Transfer]->")
+>>> macros.define("two_hops", "$hop$ () $hop$")
+>>> macros.expand("MATCH (a) $two_hops$ (b)")
+'MATCH (a) -[:Transfer]-> () -[:Transfer]-> (b)'
+
+Because expansion happens on query text, macros compose with every
+language feature (quantifiers on parenthesized macros, restrictors,
+selectors) and the expanded query goes through the ordinary static
+analysis.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import GpmlSyntaxError
+from repro.gpml.engine import MatchResult, match
+from repro.gpml.matcher import MatcherConfig
+from repro.graph.model import PropertyGraph
+
+_REFERENCE = re.compile(r"\$([A-Za-z_][A-Za-z0-9_]*)\$")
+_NAME = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+class MacroRegistry:
+    """Named pattern fragments with recursive (acyclic) expansion."""
+
+    def __init__(self) -> None:
+        self._macros: dict[str, str] = {}
+
+    def define(self, name: str, pattern_text: str) -> None:
+        if not _NAME.match(name):
+            raise GpmlSyntaxError(f"invalid macro name {name!r}")
+        if name in self._macros:
+            raise GpmlSyntaxError(f"macro {name!r} already defined")
+        self._macros[name] = pattern_text
+
+    def names(self) -> list[str]:
+        return sorted(self._macros)
+
+    def expand(self, query: str) -> str:
+        """Expand every ``$name$`` reference, detecting cycles."""
+        return self._expand(query, active=())
+
+    def _expand(self, text: str, active: tuple[str, ...]) -> str:
+        def replace(match_obj: "re.Match[str]") -> str:
+            name = match_obj.group(1)
+            if name in active:
+                chain = " -> ".join(active + (name,))
+                raise GpmlSyntaxError(f"cyclic macro expansion: {chain}")
+            if name not in self._macros:
+                raise GpmlSyntaxError(f"unknown macro {name!r}")
+            return self._expand(self._macros[name], active + (name,))
+
+        return _REFERENCE.sub(replace, text)
+
+    def match(
+        self,
+        graph: PropertyGraph,
+        query: str,
+        config: MatcherConfig | None = None,
+    ) -> MatchResult:
+        """Expand macros in *query* and evaluate it."""
+        return match(graph, self.expand(query), config)

@@ -1,0 +1,41 @@
+"""Isomorphic match modes (Section 7.1 Language Opportunity).
+
+The paper: "Constraining a graph pattern through the introduction of
+isomorphic match modes: for example, an edge-isomorphic match requires
+all edges matched across all constituent path patterns in the graph
+pattern to differ from each other."
+
+These filters post-process a :class:`~repro.gpml.engine.MatchResult`:
+
+* **edge-isomorphic** — all edge occurrences across all matched paths of
+  a row are pairwise distinct (Cypher's relationship isomorphism),
+* **node-isomorphic** — all node occurrences pairwise distinct (the
+  strictest classical subgraph-isomorphism reading).
+"""
+
+from __future__ import annotations
+
+from repro.gpml.engine import MatchResult
+
+
+def filter_edge_isomorphic(result: MatchResult) -> MatchResult:
+    """Keep rows whose paths never repeat an edge, across path patterns."""
+    rows = [row for row in result.rows if _distinct_across(row, edges=True)]
+    return MatchResult(rows=rows, variables=result.variables)
+
+
+def filter_node_isomorphic(result: MatchResult) -> MatchResult:
+    """Keep rows whose paths never repeat a node, across path patterns."""
+    rows = [row for row in result.rows if _distinct_across(row, edges=False)]
+    return MatchResult(rows=rows, variables=result.variables)
+
+
+def _distinct_across(row, edges: bool) -> bool:
+    seen: set[str] = set()
+    for path in row.paths:
+        ids = path.edge_ids if edges else path.node_ids
+        for element_id in ids:
+            if element_id in seen:
+                return False
+            seen.add(element_id)
+    return True

@@ -1,0 +1,31 @@
+"""GPML — the Graph Pattern Matching Language of GQL and SQL/PGQ.
+
+This package implements the paper's core contribution end to end:
+
+* :mod:`~repro.gpml.lexer` / :mod:`~repro.gpml.parser` — the surface syntax
+  of Section 4 (node/edge patterns, quantifiers, unions, restrictors,
+  selectors, graph patterns),
+* :mod:`~repro.gpml.normalize` — Section 6.2 normalization,
+* :mod:`~repro.gpml.analysis` — variable classification (Sections 4.4/4.6)
+  and the termination rules of Section 5,
+* :mod:`~repro.gpml.automaton` / :mod:`~repro.gpml.matcher` — the
+  production engine (counter-NFA product search),
+* :mod:`~repro.gpml.reference` — the literal expansion-based execution
+  model of Section 6, used as a differential-testing oracle,
+* :mod:`~repro.gpml.engine` — the public entry points
+  :func:`~repro.gpml.engine.match` and
+  :func:`~repro.gpml.engine.prepare`.
+"""
+
+from repro.gpml.engine import MatchResult, PreparedQuery, match, prepare
+from repro.gpml.parser import parse_expression, parse_match, parse_path_pattern
+
+__all__ = [
+    "MatchResult",
+    "PreparedQuery",
+    "match",
+    "parse_expression",
+    "parse_match",
+    "parse_path_pattern",
+    "prepare",
+]

@@ -1,0 +1,333 @@
+"""Abstract syntax of GPML graph patterns (Section 4 of the paper).
+
+The AST mirrors the paper's constructs one-to-one:
+
+* :class:`NodePattern`, :class:`EdgePattern` (with the seven orientations
+  of Figure 5),
+* :class:`Concatenation` — path patterns built by chaining (Section 4.2),
+* :class:`Quantified` — the quantifiers of Figure 6,
+* :class:`OptionalPattern` — the ``?`` postfix (Section 4.6; *not* the
+  same as ``{0,1}``: it exposes conditional singletons, not group vars),
+* :class:`ParenPattern` — parenthesized path patterns with their own
+  WHERE (a prefilter) and optional restrictor,
+* :class:`Alternation` — path pattern union ``|`` and multiset
+  alternation ``|+|`` (Section 4.5),
+* :class:`PathPattern` — one comma-separated top-level pattern with its
+  optional selector, restrictor and path variable (Section 5),
+* :class:`GraphPattern` — the full MATCH with its postfilter WHERE
+  (Section 4.3).
+
+Every node pretty-prints back to GPML text via ``str()``; the parser/
+printer pair round-trips (tested property-style).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.gpml.expr import Expr
+from repro.gpml.label_expr import LabelExpr
+
+
+class Orientation(enum.Enum):
+    """The seven edge-pattern orientations of Figure 5.
+
+    ``admits`` lists traversal directions relative to left-to-right reading
+    of the pattern: "out" = directed edge traversed forward, "in" =
+    directed edge traversed against its direction, "undirected" =
+    undirected edge.  (The strings are spelled out because enum members
+    shadow same-named imports inside the class body.)
+    """
+
+    LEFT = ("pointing left", "<-[", "]-", ("in",))
+    UNDIRECTED = ("undirected", "~[", "]~", ("undirected",))
+    RIGHT = ("pointing right", "-[", "]->", ("out",))
+    LEFT_OR_UNDIRECTED = ("left or undirected", "<~[", "]~", ("in", "undirected"))
+    UNDIRECTED_OR_RIGHT = ("undirected or right", "~[", "]~>", ("undirected", "out"))
+    LEFT_OR_RIGHT = ("left or right", "<-[", "]->", ("in", "out"))
+    ANY = ("left, undirected or right", "-[", "]-", ("in", "out", "undirected"))
+
+    def __init__(self, description: str, open_text: str, close_text: str, admits):
+        self.description = description
+        self.open_text = open_text
+        self.close_text = close_text
+        self._admits = frozenset(admits)
+
+    def admits(self, direction: str) -> bool:
+        return direction in self._admits
+
+    @property
+    def abbreviation(self) -> str:
+        return _ABBREVIATIONS[self]
+
+
+_ABBREVIATIONS = {
+    Orientation.LEFT: "<-",
+    Orientation.UNDIRECTED: "~",
+    Orientation.RIGHT: "->",
+    Orientation.LEFT_OR_UNDIRECTED: "<~",
+    Orientation.UNDIRECTED_OR_RIGHT: "~>",
+    Orientation.LEFT_OR_RIGHT: "<->",
+    Orientation.ANY: "-",
+}
+
+
+class Pattern:
+    """Base class of all pattern AST nodes."""
+
+    def sub_patterns(self) -> Iterator["Pattern"]:
+        return iter(())
+
+    def walk(self) -> Iterator["Pattern"]:
+        """Depth-first traversal of this pattern and all sub-patterns."""
+        yield self
+        for sub in self.sub_patterns():
+            yield from sub.walk()
+
+
+@dataclass
+class NodePattern(Pattern):
+    """``(x:Label WHERE cond)`` — every component optional."""
+
+    var: Optional[str] = None
+    label: Optional[LabelExpr] = None
+    where: Optional[Expr] = None
+    anonymous: bool = False  # var was synthesized during normalization
+
+    def __str__(self) -> str:
+        return f"({self._spec_text()})"
+
+    def _spec_text(self) -> str:
+        parts = []
+        if self.var and not self.anonymous:
+            parts.append(self.var)
+        if self.label is not None:
+            parts.append(f":{self.label}")
+        text = "".join(parts)
+        if self.where is not None:
+            text = f"{text} WHERE {self.where}" if text else f"WHERE {self.where}"
+        return text
+
+
+@dataclass
+class EdgePattern(Pattern):
+    """``-[e:Label WHERE cond]->`` and the six other orientations."""
+
+    orientation: Orientation
+    var: Optional[str] = None
+    label: Optional[LabelExpr] = None
+    where: Optional[Expr] = None
+    anonymous: bool = False
+
+    def __str__(self) -> str:
+        spec_parts = []
+        if self.var and not self.anonymous:
+            spec_parts.append(self.var)
+        if self.label is not None:
+            spec_parts.append(f":{self.label}")
+        spec = "".join(spec_parts)
+        if self.where is not None:
+            spec = f"{spec} WHERE {self.where}" if spec else f"WHERE {self.where}"
+        if not spec:
+            return self.orientation.abbreviation
+        return f"{self.orientation.open_text}{spec}{self.orientation.close_text}"
+
+
+@dataclass
+class Concatenation(Pattern):
+    """A sequence of element patterns read left to right."""
+
+    items: list[Pattern] = field(default_factory=list)
+
+    def sub_patterns(self) -> Iterator[Pattern]:
+        return iter(self.items)
+
+    def __str__(self) -> str:
+        return "".join(
+            (f" {item} " if isinstance(item, (Quantified, ParenPattern, OptionalPattern, Alternation)) else str(item))
+            for item in self.items
+        ).replace("  ", " ").strip()
+
+
+@dataclass
+class Quantified(Pattern):
+    """``inner{m,n}`` / ``inner{m,}`` / ``inner*`` / ``inner+``.
+
+    ``upper`` is None for unbounded quantifiers.  ``quant_id`` is assigned
+    during normalization and identifies the quantifier for counters and
+    group-variable annotations.
+    """
+
+    inner: Pattern
+    lower: int
+    upper: Optional[int]
+    quant_id: int = -1
+
+    @property
+    def unbounded(self) -> bool:
+        return self.upper is None
+
+    def quantifier_text(self) -> str:
+        if self.lower == 0 and self.upper is None:
+            return "*"
+        if self.lower == 1 and self.upper is None:
+            return "+"
+        if self.upper is None:
+            return f"{{{self.lower},}}"
+        return f"{{{self.lower},{self.upper}}}"
+
+    def sub_patterns(self) -> Iterator[Pattern]:
+        return iter((self.inner,))
+
+    def __str__(self) -> str:
+        return f"{self.inner}{self.quantifier_text()}"
+
+
+@dataclass
+class OptionalPattern(Pattern):
+    """``inner?`` — like {0,1} but exposing conditional singletons (§4.6)."""
+
+    inner: Pattern
+
+    def sub_patterns(self) -> Iterator[Pattern]:
+        return iter((self.inner,))
+
+    def __str__(self) -> str:
+        return f"{self.inner}?"
+
+
+@dataclass
+class ParenPattern(Pattern):
+    """A parenthesized path pattern ``[ pattern WHERE cond ]``.
+
+    ``restrictor`` (TRAIL/ACYCLIC/SIMPLE) may appear at its head; the WHERE
+    is a *prefilter* evaluated per match of this sub-pattern (Section 5.2).
+    ``square`` records which bracket style was written, for round-tripping.
+    ``paren_id`` is assigned during normalization.
+    """
+
+    inner: Pattern
+    where: Optional[Expr] = None
+    restrictor: Optional[str] = None
+    square: bool = True
+    paren_id: int = -1
+
+    def sub_patterns(self) -> Iterator[Pattern]:
+        return iter((self.inner,))
+
+    def __str__(self) -> str:
+        open_b, close_b = ("[", "]") if self.square else ("(", ")")
+        head = f"{self.restrictor} " if self.restrictor else ""
+        where = f" WHERE {self.where}" if self.where is not None else ""
+        return f"{open_b}{head}{self.inner}{where}{close_b}"
+
+
+@dataclass
+class Alternation(Pattern):
+    """``p1 | p2 |+| p3 ...`` — union (set) and multiset alternation.
+
+    ``operators[i]`` joins ``branches[i]`` and ``branches[i+1]`` and is
+    either ``"|"`` or ``"|+|"``.  ``alt_id`` is assigned in normalization;
+    multiset branches are tagged with it so duplicates survive reduction.
+    """
+
+    branches: list[Pattern]
+    operators: list[str]
+    alt_id: int = -1
+
+    def sub_patterns(self) -> Iterator[Pattern]:
+        return iter(self.branches)
+
+    def has_multiset(self) -> bool:
+        return "|+|" in self.operators
+
+    def __str__(self) -> str:
+        parts = [str(self.branches[0])]
+        for op, branch in zip(self.operators, self.branches[1:]):
+            parts.append(f" {op} {branch}")
+        return "".join(parts)
+
+
+@dataclass(frozen=True)
+class Selector:
+    """A selector of Figure 8 (plus the cheapest-path extension of §7.1).
+
+    kind ∈ {ANY, ANY_SHORTEST, ALL_SHORTEST, ANY_K, SHORTEST_K,
+    SHORTEST_K_GROUP, ANY_CHEAPEST, TOP_K_CHEAPEST}.
+    """
+
+    kind: str
+    k: Optional[int] = None
+    cost_property: Optional[str] = None
+
+    def __str__(self) -> str:
+        if self.kind == "ANY":
+            return "ANY"
+        if self.kind == "ANY_SHORTEST":
+            return "ANY SHORTEST"
+        if self.kind == "ALL_SHORTEST":
+            return "ALL SHORTEST"
+        if self.kind == "ANY_K":
+            return f"ANY {self.k}"
+        if self.kind == "SHORTEST_K":
+            return f"SHORTEST {self.k}"
+        if self.kind == "SHORTEST_K_GROUP":
+            return f"SHORTEST {self.k} GROUP"
+        cost = f" COST {self.cost_property}" if self.cost_property else ""
+        if self.kind == "ANY_CHEAPEST":
+            return f"ANY CHEAPEST{cost}"
+        if self.kind == "TOP_K_CHEAPEST":
+            return f"TOP {self.k} CHEAPEST{cost}"
+        return self.kind
+
+
+RESTRICTORS = ("TRAIL", "ACYCLIC", "SIMPLE")
+
+
+@dataclass
+class PathPattern(Pattern):
+    """One top-level path pattern with optional selector/restrictor/variable."""
+
+    pattern: Pattern
+    selector: Optional[Selector] = None
+    restrictor: Optional[str] = None
+    path_var: Optional[str] = None
+
+    def sub_patterns(self) -> Iterator[Pattern]:
+        return iter((self.pattern,))
+
+    def __str__(self) -> str:
+        parts = []
+        if self.selector is not None:
+            parts.append(str(self.selector))
+        if self.restrictor is not None:
+            parts.append(self.restrictor)
+        if self.path_var is not None:
+            parts.append(f"{self.path_var} =")
+        parts.append(str(self.pattern))
+        return " ".join(parts)
+
+
+@dataclass
+class GraphPattern(Pattern):
+    """A full MATCH statement: path patterns joined by comma + postfilter.
+
+    ``keep`` is the Section 7.2 trailing selector (``KEEP ANY SHORTEST``),
+    applied *after* the final WHERE — unlike head selectors, which run
+    before it (Section 5.2).
+    """
+
+    paths: list[PathPattern]
+    where: Optional[Expr] = None
+    keep: Optional[Selector] = None
+
+    def sub_patterns(self) -> Iterator[Pattern]:
+        return iter(self.paths)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(p) for p in self.paths)
+        where = f" WHERE {self.where}" if self.where is not None else ""
+        keep = f" KEEP {self.keep}" if self.keep is not None else ""
+        return f"MATCH {body}{where}{keep}"

@@ -1,0 +1,399 @@
+"""Top-level GPML engine: prepare and match.
+
+Pipeline (mirroring Section 6 of the paper):
+
+1. **parse** the MATCH statement,
+2. **normalize** (Section 6.2),
+3. **analyze** — classification, legality, termination (Sections 4-5),
+4. **compile** one counter NFA per path pattern,
+5. **match** each path pattern (strategy chosen by the analysis),
+6. **reduce + deduplicate** path bindings (Sections 6.4-6.5),
+7. apply **selectors** per path pattern (Figure 8),
+8. **join** path patterns on shared singleton variables and apply the
+   final WHERE postfilter (Sections 4.3, 6.6),
+9. materialize rows with element handles, group lists and Path values.
+
+``match(graph, "MATCH ...")`` is the one-call public entry point;
+``prepare`` caches everything up to step 4 for repeated execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.errors import GpmlEvaluationError
+from repro.gpml import ast
+from repro.gpml.analysis import (
+    CHEAPEST,
+    ENUMERATE,
+    K_SEARCH,
+    SHORTEST,
+    PathAnalysis,
+    QueryAnalysis,
+    analyze,
+)
+from repro.gpml.automaton import PatternNFA, compile_path_pattern
+from repro.gpml.bindings import ReducedBinding, deduplicate, reduce_binding
+from repro.gpml.expr import EvalContext
+from repro.gpml.matcher import Matcher, MatcherConfig
+from repro.gpml.normalize import normalize_graph_pattern
+from repro.gpml.parser import parse_match
+from repro.gpml.selectors import apply_selector
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.graph.path import Path
+from repro.values import NULL
+
+
+@dataclass
+class PreparedQuery:
+    """A parsed, normalized, analyzed and compiled MATCH statement."""
+
+    text: Optional[str]
+    raw: ast.GraphPattern
+    normalized: ast.GraphPattern
+    analysis: QueryAnalysis
+    nfas: list[PatternNFA]
+
+    @property
+    def num_path_patterns(self) -> int:
+        return len(self.normalized.paths)
+
+    def visible_variables(self) -> list[str]:
+        names: list[str] = []
+        for path_analysis in self.analysis.paths:
+            for name in path_analysis.visible_vars:
+                if name not in names:
+                    names.append(name)
+        for name in self.analysis.path_vars:
+            if name not in names:
+                names.append(name)
+        return names
+
+
+class BindingRow:
+    """One result row: variable values plus the matched path per pattern."""
+
+    __slots__ = ("values", "paths")
+
+    def __init__(self, values: dict[str, Any], paths: list[Path]):
+        self.values = values
+        self.paths = paths
+
+    def __getitem__(self, name: str) -> Any:
+        return self.values.get(name, NULL)
+
+    def get(self, name: str, default: Any = NULL) -> Any:
+        return self.values.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.values
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v!r}" for k, v in sorted(self.values.items()))
+        return f"BindingRow({items})"
+
+
+class MatchResult:
+    """The outcome of evaluating a MATCH statement on a property graph."""
+
+    def __init__(self, rows: list[BindingRow], variables: list[str]):
+        self.rows = rows
+        self.variables = variables
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[BindingRow]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        return [row[name] for row in self.rows]
+
+    def ids(self, name: str) -> list[Any]:
+        """Element ids for a variable column (lists for group variables)."""
+        return [_to_ids(value) for value in self.column(name)]
+
+    def paths(self, pattern_index: int = 0) -> list[Path]:
+        return [row.paths[pattern_index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [
+            {name: _to_ids(row[name]) for name in self.variables} for row in self.rows
+        ]
+
+    def distinct_dicts(self) -> list[dict[str, Any]]:
+        seen = set()
+        out = []
+        for entry in self.to_dicts():
+            key = tuple(sorted((k, _hashable(v)) for k, v in entry.items()))
+            if key not in seen:
+                seen.add(key)
+                out.append(entry)
+        return out
+
+    def __repr__(self) -> str:
+        return f"MatchResult({len(self.rows)} rows, variables={self.variables})"
+
+
+def _to_ids(value: Any) -> Any:
+    if isinstance(value, (Node, Edge)):
+        return value.id
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, list):
+        return [_to_ids(v) for v in value]
+    return value
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def prepare(query: "str | ast.GraphPattern") -> PreparedQuery:
+    """Parse, normalize, analyze and compile a MATCH statement."""
+    if isinstance(query, str):
+        raw = parse_match(query)
+        text: Optional[str] = query
+    else:
+        raw = query
+        text = None
+    normalized = normalize_graph_pattern(raw)
+    analysis = analyze(normalized)
+    nfas = [
+        compile_path_pattern(path, path_analysis)
+        for path, path_analysis in zip(normalized.paths, analysis.paths)
+    ]
+    return PreparedQuery(
+        text=text, raw=raw, normalized=normalized, analysis=analysis, nfas=nfas
+    )
+
+
+def match(
+    graph: PropertyGraph,
+    query: "str | ast.GraphPattern | PreparedQuery",
+    config: MatcherConfig | None = None,
+) -> MatchResult:
+    """Evaluate a MATCH statement and return the binding rows."""
+    prepared = query if isinstance(query, PreparedQuery) else prepare(query)
+    config = config or MatcherConfig()
+
+    per_pattern = [
+        solve_path_pattern(graph, prepared, index, config)
+        for index in range(prepared.num_path_patterns)
+    ]
+    return assemble_result(graph, prepared, per_pattern)
+
+
+def assemble_result(
+    graph: PropertyGraph,
+    prepared: PreparedQuery,
+    per_pattern: list[list[ReducedBinding]],
+) -> MatchResult:
+    """Join per-pattern solutions, apply the postfilter, build rows.
+
+    Shared by the production engine and the Section 6 reference engine.
+    """
+    rows = _join_patterns(graph, prepared, per_pattern)
+    if prepared.normalized.where is not None:
+        condition = prepared.normalized.where
+        rows = [
+            row
+            for row in rows
+            if condition.truth(EvalContext(bindings=row.values, graph=graph))
+        ]
+    if prepared.normalized.keep is not None:
+        rows = _apply_keep(graph, rows, prepared.normalized.keep)
+    return MatchResult(rows=rows, variables=prepared.visible_variables())
+
+
+# ----------------------------------------------------------------------
+# KEEP: post-WHERE selection (Section 7.2 syntax)
+# ----------------------------------------------------------------------
+def _apply_keep(graph: PropertyGraph, rows: list["BindingRow"], keep) -> list["BindingRow"]:
+    """Select rows per endpoint partition *after* the final WHERE.
+
+    This is the semantic difference from head selectors (Section 5.2):
+    the paper's Scott→Charles postfilter query is empty with a head
+    selector but non-empty with KEEP, because KEEP selects among the rows
+    that survived the filter.  Partitions are keyed by the endpoint pairs
+    of all matched paths; lengths/costs sum over them.
+    """
+    partitions: dict[tuple, list[BindingRow]] = {}
+    order: list[tuple] = []
+    for row in rows:
+        key = tuple((p.source_id, p.target_id) for p in row.paths)
+        if key not in partitions:
+            order.append(key)
+        partitions.setdefault(key, []).append(row)
+    out: list[BindingRow] = []
+    for key in order:
+        out.extend(_select_rows(graph, partitions[key], keep))
+    return out
+
+
+def _row_length(row: "BindingRow") -> int:
+    return sum(p.length for p in row.paths)
+
+
+def _row_sort_key(row: "BindingRow") -> tuple:
+    elements = tuple(p.element_ids for p in row.paths)
+    values = tuple(sorted((k, _hashable(_to_ids(v))) for k, v in row.values.items()))
+    return (_row_length(row), elements, values)
+
+
+def _select_rows(graph: PropertyGraph, partition: list["BindingRow"], keep) -> list["BindingRow"]:
+    ordered = sorted(partition, key=_row_sort_key)
+    kind = keep.kind
+    if kind == "ANY":
+        return ordered[:1]
+    if kind == "ANY_K":
+        return ordered[: keep.k or 1]
+    if kind == "ANY_SHORTEST":
+        return ordered[:1]  # ordered by total length first
+    if kind == "ALL_SHORTEST":
+        shortest = _row_length(ordered[0])
+        return [row for row in ordered if _row_length(row) == shortest]
+    if kind == "SHORTEST_K":
+        return ordered[: keep.k or 1]
+    if kind == "SHORTEST_K_GROUP":
+        kept: list[BindingRow] = []
+        groups: list[int] = []
+        for row in ordered:
+            length = _row_length(row)
+            if length not in groups:
+                if len(groups) >= (keep.k or 1):
+                    break
+                groups.append(length)
+            kept.append(row)
+        return kept
+    if kind in ("ANY_CHEAPEST", "TOP_K_CHEAPEST"):
+        cost_property = keep.cost_property or "cost"
+        costed = sorted(
+            ordered,
+            key=lambda row: (sum(p.cost(cost_property) for p in row.paths),)
+            + _row_sort_key(row),
+        )
+        k = 1 if kind == "ANY_CHEAPEST" else (keep.k or 1)
+        return costed[:k]
+    raise GpmlEvaluationError(f"unknown KEEP selector {kind!r}")
+
+
+def solve_path_pattern(
+    graph: PropertyGraph,
+    prepared: PreparedQuery,
+    index: int,
+    config: MatcherConfig,
+) -> list[ReducedBinding]:
+    """Solutions (reduced, deduplicated, selected) of one path pattern."""
+    path = prepared.normalized.paths[index]
+    analysis = prepared.analysis.paths[index]
+    nfa = prepared.nfas[index]
+    matcher = Matcher(graph, nfa, path.pattern, config)
+
+    strategy = analysis.strategy
+    if strategy == ENUMERATE:
+        raw = matcher.enumerate_all()
+    elif strategy == SHORTEST:
+        raw = matcher.search_shortest()
+    elif strategy == K_SEARCH:
+        raw = matcher.search_k_shortest(path.selector.k or 1)
+    elif strategy == CHEAPEST:
+        selector = path.selector
+        raw = matcher.search_cheapest(selector.k or 1, selector.cost_property or "cost")
+    else:
+        raise GpmlEvaluationError(f"unknown strategy {strategy!r}")
+
+    reduced = [
+        reduce_binding(b, analysis.group_vars, analysis.anonymous_vars) for b in raw
+    ]
+    solutions = deduplicate(reduced)
+    solutions.sort(key=lambda s: s.sort_key())
+    return apply_selector(path.selector, solutions, graph, config.default_edge_cost)
+
+
+# ----------------------------------------------------------------------
+# Joining path patterns (Section 6.6, "Multiple patterns")
+# ----------------------------------------------------------------------
+def _join_patterns(
+    graph: PropertyGraph,
+    prepared: PreparedQuery,
+    per_pattern: list[list[ReducedBinding]],
+) -> list[BindingRow]:
+    rows: list[tuple[dict[str, Any], list[Path]]] = [({}, [])]
+    bound_vars: set[str] = set()
+    for index, solutions in enumerate(per_pattern):
+        path = prepared.normalized.paths[index]
+        path_analysis = prepared.analysis.paths[index]
+        shared = sorted(
+            name
+            for name, info in path_analysis.vars.items()
+            if not info.anonymous and not info.group and name in bound_vars
+        )
+        materialized = [
+            _materialize(graph, solution, path_analysis, path.path_var)
+            for solution in solutions
+        ]
+        if shared:
+            bucket: dict[tuple, list[tuple[dict, Path]]] = {}
+            for values, path_obj in materialized:
+                key = tuple(_join_key(values.get(name)) for name in shared)
+                bucket.setdefault(key, []).append((values, path_obj))
+            new_rows = []
+            for row_values, row_paths in rows:
+                key = tuple(_join_key(row_values.get(name)) for name in shared)
+                for values, path_obj in bucket.get(key, ()):
+                    merged = dict(row_values)
+                    merged.update(values)
+                    new_rows.append((merged, row_paths + [path_obj]))
+            rows = new_rows
+        else:
+            rows = [
+                (dict(row_values) | values, row_paths + [path_obj])
+                for row_values, row_paths in rows
+                for values, path_obj in materialized
+            ]
+        bound_vars.update(
+            name
+            for name, info in path_analysis.vars.items()
+            if not info.anonymous and not info.group
+        )
+    return [BindingRow(values, paths) for values, paths in rows]
+
+
+def _join_key(value: Any) -> Any:
+    if isinstance(value, (Node, Edge)):
+        return value.id
+    return value
+
+
+def _materialize(
+    graph: PropertyGraph,
+    solution: ReducedBinding,
+    analysis: PathAnalysis,
+    path_var: Optional[str],
+) -> tuple[dict[str, Any], Path]:
+    values: dict[str, Any] = {}
+    singles = solution.singleton_map()
+    groups = solution.group_map()
+    for name, info in analysis.vars.items():
+        if info.anonymous:
+            continue
+        if info.group:
+            values[name] = [graph.element(el) for el in groups.get(name, ())]
+        elif name in singles:
+            values[name] = graph.element(singles[name])
+        else:
+            values[name] = NULL  # unbound conditional singleton
+    path_obj = Path.from_element_ids(graph, solution.elements)
+    if path_var is not None:
+        values[path_var] = path_obj
+    return values, path_obj

@@ -1,0 +1,65 @@
+"""EXPLAIN: a human-readable account of how a query will be executed.
+
+Surfaces each pipeline stage of the engine — the normalized pattern (the
+paper's Section 6.2 output), the variable classification (Sections
+4.4/4.6), the compiled automaton, and the chosen search strategy with the
+reasoning behind it (Section 5 termination analysis).
+"""
+
+from __future__ import annotations
+
+from repro.gpml import ast
+from repro.gpml.engine import PreparedQuery, prepare
+
+
+def explain(query: "str | PreparedQuery") -> str:
+    """Render the execution plan of a MATCH statement as text."""
+    prepared = query if isinstance(query, PreparedQuery) else prepare(query)
+    lines: list[str] = []
+    if prepared.text is not None:
+        lines.append(f"query: {prepared.text.strip()}")
+    lines.append(f"normalized: {prepared.normalized}")
+    for index, path_analysis in enumerate(prepared.analysis.paths):
+        path = prepared.normalized.paths[index]
+        lines.append(f"path pattern #{index + 1}: {path}")
+        lines.append(f"  strategy: {path_analysis.strategy}")
+        if path.selector is not None:
+            lines.append(f"  selector: {path.selector}")
+        if path.restrictor is not None:
+            lines.append(f"  restrictor: {path.restrictor}")
+        for name in sorted(path_analysis.vars):
+            info = path_analysis.vars[name]
+            if info.anonymous:
+                continue
+            role = "group" if info.group else (
+                "conditional singleton" if info.conditional else "singleton"
+            )
+            lines.append(f"  variable {name}: {info.kind} ({role})")
+        unbounded = [q for q in path_analysis.quants.values() if q.unbounded]
+        if unbounded:
+            covers = []
+            for quant in unbounded:
+                if quant.covered_by_restrictor:
+                    covers.append("restrictor")
+                elif path.selector is not None:
+                    covers.append("selector")
+            lines.append(
+                f"  termination: {len(unbounded)} unbounded quantifier(s) "
+                f"covered by {', '.join(sorted(set(covers)))}"
+            )
+        nfa = prepared.nfas[index]
+        lines.append(f"  automaton: {nfa.num_states} states")
+    if prepared.normalized.where is not None:
+        lines.append(f"postfilter: WHERE {prepared.normalized.where}")
+    if prepared.normalized.keep is not None:
+        lines.append(f"post-WHERE selection: KEEP {prepared.normalized.keep}")
+    join_vars = prepared.analysis.join_vars
+    if join_vars:
+        lines.append(f"cross-pattern join on: {', '.join(sorted(join_vars))}")
+    return "\n".join(lines)
+
+
+def explain_automaton(query: "str | PreparedQuery", index: int = 0) -> str:
+    """Dump the compiled NFA of one path pattern."""
+    prepared = query if isinstance(query, PreparedQuery) else prepare(query)
+    return prepared.nfas[index].describe()

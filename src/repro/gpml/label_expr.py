@@ -1,0 +1,100 @@
+"""Label expressions (Section 4.1).
+
+A label expression restricts the label set of a node or edge: single
+labels, conjunction ``&``, disjunction ``|``, negation ``!``, grouping,
+and the wildcard ``%`` which matches any element *having at least one
+label* — so ``!%`` matches exactly the elements with no labels, as in the
+paper's example ``(:!%)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+class LabelExpr:
+    """Base class; subclasses implement :meth:`matches`."""
+
+    def matches(self, labels: FrozenSet[str]) -> bool:
+        raise NotImplementedError
+
+    def referenced_labels(self) -> frozenset[str]:
+        """All label names mentioned (used by EXPLAIN and index planning)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class LabelAtom(LabelExpr):
+    name: str
+
+    def matches(self, labels: FrozenSet[str]) -> bool:
+        return self.name in labels
+
+    def referenced_labels(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class LabelWildcard(LabelExpr):
+    """``%`` — matches any element that carries at least one label."""
+
+    def matches(self, labels: FrozenSet[str]) -> bool:
+        return bool(labels)
+
+    def referenced_labels(self) -> frozenset[str]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "%"
+
+
+@dataclass(frozen=True)
+class LabelNot(LabelExpr):
+    inner: LabelExpr
+
+    def matches(self, labels: FrozenSet[str]) -> bool:
+        return not self.inner.matches(labels)
+
+    def referenced_labels(self) -> frozenset[str]:
+        return self.inner.referenced_labels()
+
+    def __str__(self) -> str:
+        return f"!{self.inner}"
+
+
+@dataclass(frozen=True)
+class LabelAnd(LabelExpr):
+    items: tuple[LabelExpr, ...]
+
+    def matches(self, labels: FrozenSet[str]) -> bool:
+        return all(item.matches(labels) for item in self.items)
+
+    def referenced_labels(self) -> frozenset[str]:
+        return frozenset().union(*(item.referenced_labels() for item in self.items))
+
+    def __str__(self) -> str:
+        return "&".join(_wrap(item) for item in self.items)
+
+
+@dataclass(frozen=True)
+class LabelOr(LabelExpr):
+    items: tuple[LabelExpr, ...]
+
+    def matches(self, labels: FrozenSet[str]) -> bool:
+        return any(item.matches(labels) for item in self.items)
+
+    def referenced_labels(self) -> frozenset[str]:
+        return frozenset().union(*(item.referenced_labels() for item in self.items))
+
+    def __str__(self) -> str:
+        return "|".join(_wrap(item) for item in self.items)
+
+
+def _wrap(item: LabelExpr) -> str:
+    if isinstance(item, (LabelOr, LabelAnd)):
+        return f"({item})"
+    return str(item)

@@ -1,0 +1,186 @@
+"""Tokenizer for GPML, GQL and the PGQ surface syntax.
+
+The lexer deliberately does **not** assemble multi-character edge-pattern
+arrows (``-[``, ``]->`` and friends): the characters ``< - ~ >`` are
+ambiguous between pattern punctuation and comparison/arithmetic operators,
+and only the parser knows which context it is in.  The lexer emits small
+tokens and records, for each token, whether it was *glued* to the previous
+one (no intervening whitespace); the parser uses this plus context to
+assemble arrows.
+
+Multi-character operators that are unambiguous are lexed greedily:
+``<=``, ``>=``, ``<>`` and ``|+|``.
+
+Keywords are case-insensitive and reserved; identifiers (labels, variable
+names, property names) are case-sensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import GpmlSyntaxError
+from repro.values import parse_number
+
+# Token types
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+NUMBER = "NUMBER"
+STRING = "STRING"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "MATCH", "WHERE", "AND", "OR", "NOT", "IS", "NULL",
+        "TRUE", "FALSE", "UNKNOWN",
+        "TRAIL", "ACYCLIC", "SIMPLE",
+        "ANY", "ALL", "SHORTEST", "GROUP", "KEEP",
+        "DIRECTED", "SOURCE", "DESTINATION", "OF",
+        "SAME", "ALL_DIFFERENT", "DISTINCT",
+        "COUNT", "SUM", "AVG", "MIN", "MAX", "LISTAGG",
+        "RETURN", "ORDER", "BY", "ASC", "DESC", "LIMIT", "OFFSET", "AS",
+        "COLUMNS", "CHEAPEST", "TOP", "COST",
+    }
+)
+
+# Greedy multi-character punctuation, longest first.
+_MULTI_PUNCT = ("|+|", "<=", ">=", "<>")
+
+_SINGLE_PUNCT = set("()[]{}<>,.:=+-*/?!%&|~")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``glued`` is True when no whitespace separated this token from the
+    previous one — the parser needs this to assemble arrows like ``-[``
+    while still allowing ``a - [`` ... (which cannot occur in well-formed
+    input anyway, but the flag keeps error messages precise).
+    """
+
+    type: str
+    value: str | int | float
+    position: int
+    glued: bool = False
+
+    def is_punct(self, *values: str) -> bool:
+        return self.type == PUNCT and self.value in values
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.type == KEYWORD and self.value in names
+
+    def __repr__(self) -> str:
+        return f"{self.type}({self.value!r})"
+
+
+def _is_ident_start(ch: str) -> bool:
+    return ch.isalpha() or ch == "_"
+
+
+def _is_ident_part(ch: str) -> bool:
+    return ch.isalnum() or ch == "_"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*, raising GpmlSyntaxError with position on failure."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    glued = False
+    while i < n:
+        ch = text[i]
+        # Whitespace
+        if ch.isspace():
+            i += 1
+            glued = False
+            continue
+        # Comments: // to end of line, /* ... */
+        if ch == "/" and i + 1 < n and text[i + 1] == "/":
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            glued = False
+            continue
+        if ch == "/" and i + 1 < n and text[i + 1] == "*":
+            end = text.find("*/", i + 2)
+            if end < 0:
+                raise GpmlSyntaxError("unterminated comment", i, text)
+            i = end + 2
+            glued = False
+            continue
+        start = i
+        # Strings: single quotes with '' escape (SQL style)
+        if ch == "'":
+            i += 1
+            parts: list[str] = []
+            while True:
+                if i >= n:
+                    raise GpmlSyntaxError("unterminated string literal", start, text)
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        parts.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                parts.append(text[i])
+                i += 1
+            tokens.append(Token(STRING, "".join(parts), start, glued))
+            glued = True
+            continue
+        # Numbers (with optional K/M/B magnitude suffix)
+        if ch.isdigit():
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            # scientific notation
+            if j < n and text[j] in "eE" and j + 1 < n and (
+                text[j + 1].isdigit() or text[j + 1] in "+-"
+            ):
+                j += 2
+                while j < n and text[j].isdigit():
+                    j += 1
+            literal = text[i:j]
+            if j < n and text[j].upper() in "KMB" and (
+                j + 1 >= n or not _is_ident_part(text[j + 1])
+            ):
+                literal += text[j]
+                j += 1
+            try:
+                value = parse_number(literal)
+            except ValueError as exc:
+                raise GpmlSyntaxError(f"bad numeric literal {literal!r}", i, text) from exc
+            tokens.append(Token(NUMBER, value, start, glued))
+            i = j
+            glued = True
+            continue
+        # Identifiers / keywords
+        if _is_ident_start(ch):
+            j = i
+            while j < n and _is_ident_part(text[j]):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, start, glued))
+            else:
+                tokens.append(Token(IDENT, word, start, glued))
+            i = j
+            glued = True
+            continue
+        # Multi-char punctuation
+        for punct in _MULTI_PUNCT:
+            if text.startswith(punct, i):
+                tokens.append(Token(PUNCT, punct, start, glued))
+                i += len(punct)
+                break
+        else:
+            if ch in _SINGLE_PUNCT:
+                tokens.append(Token(PUNCT, ch, start, glued))
+                i += 1
+            else:
+                raise GpmlSyntaxError(f"unexpected character {ch!r}", i, text)
+        glued = True
+    tokens.append(Token(EOF, "", n, False))
+    return tokens

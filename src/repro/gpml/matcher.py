@@ -1,0 +1,807 @@
+"""Product-graph search: evaluating one compiled path pattern on a graph.
+
+The matcher explores runs of the pattern NFA over the property graph.
+A *run* tracks the current graph node, NFA state, quantifier counters,
+iteration annotations, restrictor scopes, bindings, the walked path, and
+multiset tags.  Four search strategies cover the semantics of Section 5:
+
+* :func:`enumerate_all` — exhaustive DFS.  Used when the pattern is
+  bounded, or when every unbounded quantifier sits inside a restrictor
+  scope (then the used-edge/visited-node sets make the search finite).
+* :func:`search_shortest` — breadth-first by path length with product-
+  state pruning.  Counter saturation keeps the product space finite, so
+  the search terminates even without restrictors; later arrivals at an
+  already-visited product state cannot contribute new *minimal* matches
+  (the pruning key includes singleton bindings and scope memories, which
+  are the only run components that can block a future suffix).
+* :func:`search_k_shortest` — length-ordered search keeping up to *k*
+  distinct path lengths per product state; sound for ANY k / SHORTEST k /
+  SHORTEST k GROUP by the standard k-shortest-walks argument.
+* :func:`search_cheapest` — Dijkstra over non-negative edge costs for the
+  cheapest-path extension (Section 7.1 Language Opportunity).
+
+Known engine refinements (documented deviations, all affecting only
+pathological queries): iterations of a quantifier that consume no edges
+are explored at most once per product state (their repetitions reduce to
+equal bindings anyway), and deferred prefilters inside unbounded
+quantifiers do not take part in shortest-search pruning keys.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.errors import BudgetExceededError, GpmlEvaluationError
+from repro.gpml import ast
+from repro.gpml.automaton import (
+    BagTag,
+    EnterQuant,
+    ExitQuant,
+    IterBegin,
+    NodeTest,
+    PatternNFA,
+    ScopeBegin,
+    ScopeEnd,
+)
+from repro.gpml.bindings import Annotation, ElementaryBinding, PathBinding
+from repro.gpml.expr import EvalContext
+from repro.gpml.label_expr import LabelAnd, LabelAtom, LabelExpr, LabelOr
+from repro.graph.model import PropertyGraph
+from repro.values import NULL, is_null
+
+
+@dataclass
+class MatcherConfig:
+    """Safety budgets and knobs; defaults suit laptop-scale graphs."""
+
+    max_steps: int = 5_000_000
+    max_results: int = 1_000_000
+    max_depth: Optional[int] = None  # k-search / cheapest safety bound
+    default_edge_cost: float = 1.0
+    use_label_index: bool = True  # per-node label-filtered incidence lists
+
+
+# ----------------------------------------------------------------------
+# Run state
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Scope:
+    scope_id: int
+    kind: str  # TRAIL | ACYCLIC | SIMPLE
+    used_edges: frozenset
+    visited_nodes: frozenset
+    first_node: str
+    closed: bool
+
+
+class _Run:
+    """One partial match.  Paths/bindings use parent-linked cells so that
+    extending a run is O(1); materialization happens on acceptance."""
+
+    __slots__ = (
+        "state",
+        "node",
+        "start_node",
+        "counters",
+        "ann",
+        "scopes",
+        "bind_map",
+        "entry_cell",
+        "path_cell",
+        "path_len",
+        "bag_tags",
+        "deferred_cell",
+        "cost",
+    )
+
+    def __init__(
+        self,
+        state: int,
+        node: str,
+        start_node: str,
+        counters: tuple,
+        ann: Annotation,
+        scopes: tuple,
+        bind_map: dict,
+        entry_cell: Optional[tuple],
+        path_cell: tuple,
+        path_len: int,
+        bag_tags: frozenset,
+        deferred_cell: Optional[tuple],
+        cost: float = 0.0,
+    ):
+        self.state = state
+        self.node = node
+        self.start_node = start_node
+        self.counters = counters  # sorted tuple of (quant_id, count)
+        self.ann = ann
+        self.scopes = scopes
+        self.bind_map = bind_map  # var -> {annotation: element_id}
+        self.entry_cell = entry_cell
+        self.path_cell = path_cell
+        self.path_len = path_len
+        self.bag_tags = bag_tags
+        self.deferred_cell = deferred_cell
+        self.cost = cost
+
+    # -- derived -------------------------------------------------------
+    def path_elements(self) -> tuple[str, ...]:
+        out: list[str] = []
+        cell = self.path_cell
+        while cell is not None:
+            out.append(cell[1])
+            cell = cell[0]
+        out.reverse()
+        return tuple(out)
+
+    def entries(self) -> tuple[ElementaryBinding, ...]:
+        out: list[ElementaryBinding] = []
+        cell = self.entry_cell
+        while cell is not None:
+            out.append(cell[1])
+            cell = cell[0]
+        out.reverse()
+        return tuple(out)
+
+    def deferred(self) -> list[tuple]:
+        out: list[tuple] = []
+        cell = self.deferred_cell
+        while cell is not None:
+            out.append(cell[1])
+            cell = cell[0]
+        out.reverse()
+        return out
+
+    def singleton_key(self) -> frozenset:
+        items = []
+        for var, by_ann in self.bind_map.items():
+            element = by_ann.get(())
+            if element is not None:
+                items.append((var, element))
+        return frozenset(items)
+
+    def bindings_key(self) -> frozenset:
+        items = []
+        for var, by_ann in self.bind_map.items():
+            for ann, element in by_ann.items():
+                items.append((var, ann, element))
+        return frozenset(items)
+
+    def shadow_key(self) -> frozenset:
+        """Annotation-free view of the bindings (for the ε-cycle guard).
+
+        Zero-length quantifier laps rebind the same variables to the same
+        elements under deeper annotations, so their shadow is unchanged —
+        whereas genuinely different ε-routes (union branches) bind
+        different variables or elements and keep distinct shadows.
+        """
+        items = []
+        for var, by_ann in self.bind_map.items():
+            for element in by_ann.values():
+                items.append((var, element))
+        return frozenset(items)
+
+    def prune_key(self) -> tuple:
+        return (
+            self.start_node,
+            self.node,
+            self.state,
+            self.counters,
+            self.scopes,
+            self.singleton_key(),
+        )
+
+    def fingerprint(self) -> tuple:
+        return (
+            self.state,
+            self.node,
+            self.counters,
+            self.ann,
+            self.scopes,
+            self.bindings_key(),
+            self.path_elements(),
+            self.bag_tags,
+        )
+
+
+class RunContext(EvalContext):
+    """Expression evaluation against a run's bindings.
+
+    Singleton lookup finds the binding whose annotation is the longest
+    prefix of the current annotation; group lookup collects bindings whose
+    annotations strictly extend the current one (iteration order).
+    """
+
+    def __init__(self, graph: PropertyGraph, bind_map: dict, current_ann: Annotation):
+        super().__init__(graph=graph)
+        self._map = bind_map
+        self._ann = current_ann
+
+    def lookup(self, name: str) -> Any:
+        by_ann = self._map.get(name)
+        if not by_ann:
+            return NULL
+        for cut in range(len(self._ann), -1, -1):
+            prefix = self._ann[:cut]
+            element = by_ann.get(prefix)
+            if element is not None:
+                return self.graph.element(element)
+        return NULL
+
+    def group_items(self, name: str) -> list[Any]:
+        by_ann = self._map.get(name)
+        if not by_ann:
+            return []
+        current = self._ann
+        items = []
+        for ann in sorted(by_ann):
+            if len(ann) > len(current) and ann[: len(current)] == current:
+                items.append(self.graph.element(by_ann[ann]))
+        if items:
+            return items
+        value = self.lookup(name)
+        return [] if is_null(value) else [value]
+
+
+# ----------------------------------------------------------------------
+# Matcher
+# ----------------------------------------------------------------------
+class Matcher:
+    """Evaluates one compiled path pattern over one property graph."""
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        nfa: PatternNFA,
+        pattern: ast.Pattern,
+        config: MatcherConfig | None = None,
+    ):
+        self.graph = graph
+        self.nfa = nfa
+        self.pattern = pattern
+        self.config = config or MatcherConfig()
+        self._steps = 0
+
+    # -- public strategies ----------------------------------------------
+    def enumerate_all(self) -> list[PathBinding]:
+        accepts: list[PathBinding] = []
+        stack: list[_Run] = []
+        for run in self._initial_runs():
+            self._closure(run, stack, accepts)
+        while stack:
+            run = stack.pop()
+            for new_run in self._edge_successors(run):
+                self._closure(new_run, stack, accepts)
+            self._check_budget(len(accepts))
+        return accepts
+
+    def search_shortest(self) -> list[PathBinding]:
+        accepts: list[PathBinding] = []
+        visited: dict[tuple, int] = {}
+        frontier: list[_Run] = []
+        for run in self._initial_runs():
+            self._closure(run, frontier, accepts)
+        frontier = self._prune_layer(frontier, visited, 0)
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: list[_Run] = []
+            for run in frontier:
+                for new_run in self._edge_successors(run):
+                    self._closure(new_run, next_frontier, accepts)
+            frontier = self._prune_layer(next_frontier, visited, depth)
+            self._check_budget(len(accepts))
+        return accepts
+
+    def search_k_shortest(self, k: int) -> list[PathBinding]:
+        accepts: list[PathBinding] = []
+        allowed: dict[tuple, set[int]] = {}
+        max_depth = self.config.max_depth
+        if max_depth is None:
+            max_depth = (self.graph.num_nodes * self.nfa.num_states + 1) * (k + 1)
+        frontier: list[_Run] = []
+        for run in self._initial_runs():
+            self._closure(run, frontier, accepts)
+        frontier = self._prune_layer_k(frontier, allowed, 0, k)
+        depth = 0
+        while frontier and depth < max_depth:
+            depth += 1
+            next_frontier: list[_Run] = []
+            for run in frontier:
+                for new_run in self._edge_successors(run):
+                    self._closure(new_run, next_frontier, accepts)
+            frontier = self._prune_layer_k(next_frontier, allowed, depth, k)
+            self._check_budget(len(accepts))
+        return accepts
+
+    def search_cheapest(self, k: int, cost_property: str) -> list[PathBinding]:
+        accepts: list[tuple[float, PathBinding]] = []
+        best: dict[tuple, list[float]] = {}
+        queue: list[tuple[float, int, _Run]] = []
+        seq = 0
+        sink: list[_Run] = []
+        collected: list[PathBinding] = []
+        for run in self._initial_runs():
+            self._closure(run, sink, collected)
+        for binding in collected:
+            accepts.append((0.0, binding))
+        for run in sink:
+            heapq.heappush(queue, (run.cost, seq, run))
+            seq += 1
+        while queue:
+            cost, _, run = heapq.heappop(queue)
+            key = run.prune_key()
+            kept = best.setdefault(key, [])
+            if cost not in kept:
+                if len(kept) >= k and cost > max(kept):
+                    continue
+                kept.append(cost)
+            for new_run in self._edge_successors(run, cost_property=cost_property):
+                nested: list[_Run] = []
+                nested_accepts: list[PathBinding] = []
+                self._closure(new_run, nested, nested_accepts)
+                for binding in nested_accepts:
+                    accepts.append((new_run.cost, binding))
+                for nr in nested:
+                    heapq.heappush(queue, (nr.cost, seq, nr))
+                    seq += 1
+            self._check_budget(len(accepts))
+        accepts.sort(key=lambda pair: pair[0])
+        return [binding for _, binding in accepts]
+
+    # -- initialization --------------------------------------------------
+    def _initial_runs(self) -> Iterable[_Run]:
+        candidates = self._initial_candidates()
+        for node_id in candidates:
+            yield _Run(
+                state=self.nfa.start,
+                node=node_id,
+                start_node=node_id,
+                counters=(),
+                ann=(),
+                scopes=(),
+                bind_map={},
+                entry_cell=None,
+                path_cell=(None, node_id),
+                path_len=0,
+                bag_tags=frozenset(),
+                deferred_cell=None,
+            )
+
+    def _initial_candidates(self) -> list[str]:
+        labels = _leftmost_required_labels(self.pattern)
+        if labels is None:
+            return sorted(self.graph.node_ids())
+        out: set[str] = set()
+        for label in labels:
+            out.update(node.id for node in self.graph.nodes_with_label(label))
+        return sorted(out)
+
+    # -- epsilon closure --------------------------------------------------
+    def _closure(self, run: _Run, frontier: list[_Run], accepts: list[PathBinding]) -> None:
+        """Expand epsilon transitions; deposit edge-ready runs and accepts.
+
+        The cycle guard allows revisiting a product state with *different*
+        bindings (distinct union branches merging), but cuts revisits whose
+        bindings extend a previous visit: those are zero-length quantifier
+        laps, whose repetitions only pump group variables with duplicate
+        elements (a documented engine refinement — see module docstring).
+        """
+        stack = [run]
+        seen: set[tuple] = set()
+        while stack:
+            current = stack.pop()
+            guard = (
+                current.state,
+                current.counters,
+                current.scopes,
+                current.shadow_key(),
+                # Multiset branches must both survive even with identical
+                # bindings; strip the annotation component so zero-length
+                # quantifier laps still converge.
+                frozenset((alt, cls) for alt, cls, _ in current.bag_tags),
+            )
+            if guard in seen:
+                continue
+            seen.add(guard)
+            if current.state == self.nfa.accept:
+                binding = self._accept(current)
+                if binding is not None:
+                    accepts.append(binding)
+            if self.nfa.edges[current.state]:
+                frontier.append(current)
+            for eps in self.nfa.epsilons[current.state]:
+                successor = self._apply_action(current, eps.target, eps.action)
+                if successor is not None:
+                    stack.append(successor)
+
+    def _apply_action(self, run: _Run, target: int, action) -> Optional[_Run]:
+        if action is None:
+            return self._with(run, state=target)
+        if isinstance(action, NodeTest):
+            return self._apply_node_test(run, target, action)
+        if isinstance(action, EnterQuant):
+            counters = _set_counter(run.counters, action.quant_id, 0)
+            ann = run.ann + ((action.quant_id, 0),)
+            return self._with(run, state=target, counters=counters, ann=ann)
+        if isinstance(action, IterBegin):
+            count = _get_counter(run.counters, action.quant_id)
+            if action.upper is not None and count >= action.upper:
+                return None
+            counters = _set_counter(
+                run.counters, action.quant_id, min(count + 1, action.cap)
+            )
+            head, (qid, iteration) = run.ann[:-1], run.ann[-1]
+            ann = head + ((qid, iteration + 1),)
+            return self._with(run, state=target, counters=counters, ann=ann)
+        if isinstance(action, ExitQuant):
+            count = _get_counter(run.counters, action.quant_id)
+            if count < action.lower:
+                return None
+            counters = _del_counter(run.counters, action.quant_id)
+            ann = run.ann[:-1]
+            return self._with(run, state=target, counters=counters, ann=ann)
+        if isinstance(action, ScopeBegin):
+            if action.restrictor is None:
+                return self._with(run, state=target)
+            scope = _Scope(
+                scope_id=action.scope_id,
+                kind=action.restrictor,
+                used_edges=frozenset(),
+                visited_nodes=frozenset({run.node}),
+                first_node=run.node,
+                closed=False,
+            )
+            return self._with(run, state=target, scopes=run.scopes + (scope,))
+        if isinstance(action, ScopeEnd):
+            scopes = run.scopes
+            if action.restrictor is not None:
+                scopes = scopes[:-1]
+            successor = self._with(run, state=target, scopes=scopes)
+            if action.where is not None:
+                if action.deferred:
+                    cell = (successor.deferred_cell, (action.where, successor.ann))
+                    successor.deferred_cell = cell
+                else:
+                    ctx = RunContext(self.graph, successor.bind_map, successor.ann)
+                    if not action.where.truth(ctx):
+                        return None
+            return successor
+        if isinstance(action, BagTag):
+            tag = (action.alt_id, action.dedup_class, run.ann)
+            return self._with(run, state=target, bag_tags=run.bag_tags | {tag})
+        raise GpmlEvaluationError(f"unknown automaton action {action!r}")
+
+    def _apply_node_test(self, run: _Run, target: int, action: NodeTest) -> Optional[_Run]:
+        pattern = action.pattern
+        node_id = run.node
+        if pattern.label is not None:
+            if not pattern.label.matches(self.graph.labels_of(node_id)):
+                return None
+        bind_map, entry_cell = self._bind(run, pattern.var, node_id)
+        if bind_map is None:
+            return None
+        successor = self._with(
+            run, state=target, bind_map=bind_map, entry_cell=entry_cell
+        )
+        if pattern.where is not None:
+            if action.deferred:
+                successor.deferred_cell = (
+                    successor.deferred_cell,
+                    (pattern.where, successor.ann),
+                )
+            else:
+                ctx = RunContext(self.graph, successor.bind_map, successor.ann)
+                if not pattern.where.truth(ctx):
+                    return None
+        return successor
+
+    def _bind(self, run: _Run, var: Optional[str], element_id: str):
+        """Bind var@ann -> element with the implicit equi-join check."""
+        if var is None:
+            return run.bind_map, run.entry_cell
+        by_ann = run.bind_map.get(var)
+        if by_ann is not None:
+            existing = by_ann.get(run.ann)
+            if existing is not None:
+                if existing != element_id:
+                    return None, None
+                return run.bind_map, run.entry_cell
+            by_ann = dict(by_ann)
+        else:
+            by_ann = {}
+        by_ann[run.ann] = element_id
+        bind_map = dict(run.bind_map)
+        bind_map[var] = by_ann
+        entry_cell = (run.entry_cell, ElementaryBinding(var, run.ann, element_id))
+        return bind_map, entry_cell
+
+    # -- edge traversal ----------------------------------------------------
+    def _incidences_for(self, node_id: str, pattern: ast.EdgePattern):
+        """Candidate incidences, via the label index when a single
+        label atom is required (checked there, skipped in the loop)."""
+        if self.config.use_label_index and isinstance(pattern.label, LabelAtom):
+            return self.graph.incidences_with_label(node_id, pattern.label.name), True
+        return self.graph.incidences(node_id), False
+
+    def _edge_successors(self, run: _Run, cost_property: Optional[str] = None):
+        for transition in self.nfa.edges[run.state]:
+            pattern = transition.pattern
+            incidences, label_checked = self._incidences_for(run.node, pattern)
+            for inc in incidences:
+                if not pattern.orientation.admits(inc.direction):
+                    continue
+                self._steps += 1
+                if self._steps > self.config.max_steps:
+                    raise BudgetExceededError(
+                        f"matcher exceeded max_steps={self.config.max_steps}"
+                    )
+                if pattern.label is not None and not label_checked:
+                    if not pattern.label.matches(self.graph.labels_of(inc.edge)):
+                        continue
+                scopes = self._scopes_after_edge(run.scopes, inc.edge, inc.other)
+                if scopes is None:
+                    continue
+                bind_map, entry_cell = self._bind(run, pattern.var, inc.edge)
+                if bind_map is None:
+                    continue
+                cost = run.cost
+                if cost_property is not None:
+                    cost += self._edge_cost(inc.edge, cost_property)
+                successor = _Run(
+                    state=transition.target,
+                    node=inc.other,
+                    start_node=run.start_node,
+                    counters=run.counters,
+                    ann=run.ann,
+                    scopes=scopes,
+                    bind_map=bind_map,
+                    entry_cell=entry_cell,
+                    path_cell=((run.path_cell, inc.edge), inc.other),
+                    path_len=run.path_len + 1,
+                    bag_tags=run.bag_tags,
+                    deferred_cell=run.deferred_cell,
+                    cost=cost,
+                )
+                if pattern.where is not None:
+                    if transition.deferred:
+                        successor.deferred_cell = (
+                            successor.deferred_cell,
+                            (pattern.where, successor.ann),
+                        )
+                    else:
+                        ctx = RunContext(self.graph, successor.bind_map, successor.ann)
+                        if not pattern.where.truth(ctx):
+                            continue
+                yield successor
+
+    def _edge_cost(self, edge_id: str, cost_property: str) -> float:
+        value = self.graph.property_of(edge_id, cost_property, None)
+        if value is None or is_null(value):
+            return self.config.default_edge_cost
+        cost = float(value)
+        if cost < 0:
+            raise GpmlEvaluationError(
+                f"negative cost {cost} on edge {edge_id!r}; cheapest-path "
+                f"search requires non-negative costs"
+            )
+        return cost
+
+    def _scopes_after_edge(self, scopes: tuple, edge_id: str, target: str):
+        if not scopes:
+            return scopes
+        out = []
+        for scope in scopes:
+            if scope.closed:
+                return None
+            if scope.kind == "TRAIL":
+                if edge_id in scope.used_edges:
+                    return None
+                scope = _Scope(
+                    scope.scope_id,
+                    scope.kind,
+                    scope.used_edges | {edge_id},
+                    scope.visited_nodes,
+                    scope.first_node,
+                    False,
+                )
+            elif scope.kind == "ACYCLIC":
+                if target in scope.visited_nodes:
+                    return None
+                scope = _Scope(
+                    scope.scope_id,
+                    scope.kind,
+                    scope.used_edges,
+                    scope.visited_nodes | {target},
+                    scope.first_node,
+                    False,
+                )
+            elif scope.kind == "SIMPLE":
+                if target in scope.visited_nodes:
+                    if target != scope.first_node:
+                        return None
+                    scope = _Scope(
+                        scope.scope_id,
+                        scope.kind,
+                        scope.used_edges,
+                        scope.visited_nodes,
+                        scope.first_node,
+                        True,
+                    )
+                else:
+                    scope = _Scope(
+                        scope.scope_id,
+                        scope.kind,
+                        scope.used_edges,
+                        scope.visited_nodes | {target},
+                        scope.first_node,
+                        False,
+                    )
+            out.append(scope)
+        return tuple(out)
+
+    # -- acceptance ----------------------------------------------------------
+    def _accept(self, run: _Run) -> Optional[PathBinding]:
+        for where, ann in run.deferred():
+            ctx = RunContext(self.graph, run.bind_map, ann)
+            if not where.truth(ctx):
+                return None
+        return PathBinding(
+            elements=run.path_elements(),
+            entries=run.entries(),
+            bag_tags=run.bag_tags,
+        )
+
+    # -- pruning --------------------------------------------------------------
+    @staticmethod
+    def _prune_layer(runs: list[_Run], visited: dict[tuple, int], depth: int) -> list[_Run]:
+        out: list[_Run] = []
+        layer_seen: set[tuple] = set()
+        for run in runs:
+            key = run.prune_key()
+            first = visited.get(key)
+            if first is not None and first < depth:
+                continue
+            if first is None:
+                visited[key] = depth
+            fingerprint = run.fingerprint()
+            if fingerprint in layer_seen:
+                continue
+            layer_seen.add(fingerprint)
+            out.append(run)
+        return out
+
+    @staticmethod
+    def _prune_layer_k(
+        runs: list[_Run], allowed: dict[tuple, set[int]], depth: int, k: int
+    ) -> list[_Run]:
+        out: list[_Run] = []
+        layer_seen: set[tuple] = set()
+        for run in runs:
+            key = run.prune_key()
+            depths = allowed.setdefault(key, set())
+            if depth not in depths:
+                if len(depths) >= k and depth > max(depths):
+                    continue
+                depths.add(depth)
+            fingerprint = run.fingerprint()
+            if fingerprint in layer_seen:
+                continue
+            layer_seen.add(fingerprint)
+            out.append(run)
+        return out
+
+    # -- misc -------------------------------------------------------------------
+    def _check_budget(self, num_results: int) -> None:
+        if num_results > self.config.max_results:
+            raise BudgetExceededError(
+                f"matcher exceeded max_results={self.config.max_results}"
+            )
+
+    @staticmethod
+    def _with(run: _Run, **overrides) -> _Run:
+        new = _Run(
+            state=overrides.get("state", run.state),
+            node=overrides.get("node", run.node),
+            start_node=run.start_node,
+            counters=overrides.get("counters", run.counters),
+            ann=overrides.get("ann", run.ann),
+            scopes=overrides.get("scopes", run.scopes),
+            bind_map=overrides.get("bind_map", run.bind_map),
+            entry_cell=overrides.get("entry_cell", run.entry_cell),
+            path_cell=run.path_cell,
+            path_len=run.path_len,
+            bag_tags=overrides.get("bag_tags", run.bag_tags),
+            deferred_cell=run.deferred_cell,
+            cost=run.cost,
+        )
+        return new
+
+
+# ----------------------------------------------------------------------
+# Counter tuples (sorted, immutable)
+# ----------------------------------------------------------------------
+def _get_counter(counters: tuple, quant_id: int) -> int:
+    for qid, count in counters:
+        if qid == quant_id:
+            return count
+    return 0
+
+
+def _set_counter(counters: tuple, quant_id: int, value: int) -> tuple:
+    out = [(qid, count) for qid, count in counters if qid != quant_id]
+    out.append((quant_id, value))
+    out.sort()
+    return tuple(out)
+
+
+def _del_counter(counters: tuple, quant_id: int) -> tuple:
+    return tuple((qid, count) for qid, count in counters if qid != quant_id)
+
+
+# ----------------------------------------------------------------------
+# Start-candidate narrowing
+# ----------------------------------------------------------------------
+def _leftmost_required_labels(pattern: ast.Pattern) -> Optional[frozenset[str]]:
+    """Labels one of which the first matched node must carry, or None.
+
+    Conservative: returns None whenever the first node cannot be pinned
+    down (optional prefixes, wildcard/negated labels, bare edges).
+    """
+    if isinstance(pattern, ast.NodePattern):
+        return _required_labels_of(pattern.label)
+    if isinstance(pattern, ast.Concatenation):
+        for item in pattern.items:
+            result = _leftmost_required_labels(item)
+            if _may_be_empty(item):
+                # The first element can be skipped; give up narrowing.
+                return None
+            return result
+        return None
+    if isinstance(pattern, ast.ParenPattern):
+        return _leftmost_required_labels(pattern.inner)
+    if isinstance(pattern, ast.Quantified):
+        if pattern.lower == 0:
+            return None
+        return _leftmost_required_labels(pattern.inner)
+    if isinstance(pattern, ast.Alternation):
+        union: set[str] = set()
+        for branch in pattern.branches:
+            result = _leftmost_required_labels(branch)
+            if result is None:
+                return None
+            union.update(result)
+        return frozenset(union)
+    return None
+
+
+def _may_be_empty(pattern: ast.Pattern) -> bool:
+    if isinstance(pattern, (ast.Quantified,)):
+        return pattern.lower == 0
+    if isinstance(pattern, ast.OptionalPattern):
+        return True
+    return False
+
+
+def _required_labels_of(label: Optional[LabelExpr]) -> Optional[frozenset[str]]:
+    if label is None:
+        return None
+    if isinstance(label, LabelAtom):
+        return frozenset({label.name})
+    if isinstance(label, LabelAnd):
+        for item in label.items:
+            result = _required_labels_of(item)
+            if result is not None:
+                return result
+        return None
+    if isinstance(label, LabelOr):
+        union: set[str] = set()
+        for item in label.items:
+            result = _required_labels_of(item)
+            if result is None:
+                return None
+            union.update(result)
+        return frozenset(union)
+    return None

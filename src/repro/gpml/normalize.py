@@ -1,0 +1,186 @@
+"""Normalization (Section 6.2 of the paper).
+
+Normalization rewrites each path pattern so that:
+
+1. every concatenation, every parenthesized sub-pattern, every quantified
+   body, and every alternation branch *starts and ends with a node
+   pattern* — bare edge patterns get anonymous node patterns on both
+   sides, exactly like the paper's rewrite of ``[-[b:Transfer]->]+`` into
+   ``[()-[b:Transfer]->()]{1,}``;
+2. every anonymous node and edge pattern receives a fresh variable
+   (the paper's □ᵢ and −ᵢ), so the reference engine can build its join
+   tables and the reduction step can strip them later;
+3. every quantifier, parenthesized pattern and alternation receives a
+   stable numeric id (used for counters, restrictor scopes and multiset
+   provenance tags).
+
+Adjacent node patterns (for instance at quantifier boundaries, where the
+paper's "clean-up" step deletes one of them) are *kept*: the automaton
+simply applies both node tests at the same position, which is equivalent
+to the paper's unification.
+
+Normalization never mutates the input AST; it builds a fresh tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GpmlSyntaxError
+from repro.gpml import ast
+
+ANON_NODE_PREFIX = "__n"
+ANON_EDGE_PREFIX = "__e"
+
+
+def is_anonymous_name(name: str) -> bool:
+    return name.startswith(ANON_NODE_PREFIX) or name.startswith(ANON_EDGE_PREFIX)
+
+
+@dataclass
+class NormalizeState:
+    """Counters shared across one graph pattern."""
+
+    next_anon: int = 0
+    next_quant: int = 0
+    next_paren: int = 0
+    next_alt: int = 0
+
+    def fresh_node_var(self) -> str:
+        self.next_anon += 1
+        return f"{ANON_NODE_PREFIX}{self.next_anon}"
+
+    def fresh_edge_var(self) -> str:
+        self.next_anon += 1
+        return f"{ANON_EDGE_PREFIX}{self.next_anon}"
+
+
+def normalize_graph_pattern(pattern: ast.GraphPattern) -> ast.GraphPattern:
+    """Normalize all path patterns of a MATCH statement."""
+    state = NormalizeState()
+    paths = [_normalize_path_pattern(p, state) for p in pattern.paths]
+    return ast.GraphPattern(paths=paths, where=pattern.where, keep=pattern.keep)
+
+
+def _normalize_path_pattern(path: ast.PathPattern, state: NormalizeState) -> ast.PathPattern:
+    normalized = _normalize(path.pattern, state)
+    normalized = _pad_to_nodes(normalized, state)
+    return ast.PathPattern(
+        pattern=normalized,
+        selector=path.selector,
+        restrictor=path.restrictor,
+        path_var=path.path_var,
+    )
+
+
+def _normalize(pattern: ast.Pattern, state: NormalizeState) -> ast.Pattern:
+    if isinstance(pattern, ast.NodePattern):
+        var = pattern.var
+        anonymous = var is None
+        if anonymous:
+            var = state.fresh_node_var()
+        return ast.NodePattern(
+            var=var, label=pattern.label, where=pattern.where, anonymous=anonymous
+        )
+    if isinstance(pattern, ast.EdgePattern):
+        var = pattern.var
+        anonymous = var is None
+        if anonymous:
+            var = state.fresh_edge_var()
+        return ast.EdgePattern(
+            orientation=pattern.orientation,
+            var=var,
+            label=pattern.label,
+            where=pattern.where,
+            anonymous=anonymous,
+        )
+    if isinstance(pattern, ast.Concatenation):
+        items = [_normalize(item, state) for item in pattern.items]
+        padded: list[ast.Pattern] = []
+        previous_ends_at_edge = True  # force a node pattern at the start
+        for item in items:
+            if _starts_with_edge(item) and previous_ends_at_edge:
+                padded.append(_anon_node(state))
+            padded.append(item)
+            previous_ends_at_edge = _ends_with_edge(item)
+        if previous_ends_at_edge:
+            padded.append(_anon_node(state))
+        return ast.Concatenation(items=padded)
+    if isinstance(pattern, ast.Quantified):
+        state.next_quant += 1
+        quant_id = state.next_quant
+        inner = _pad_to_nodes(_normalize(pattern.inner, state), state)
+        return ast.Quantified(
+            inner=inner, lower=pattern.lower, upper=pattern.upper, quant_id=quant_id
+        )
+    if isinstance(pattern, ast.OptionalPattern):
+        inner = _pad_to_nodes(_normalize(pattern.inner, state), state)
+        return ast.OptionalPattern(inner=inner)
+    if isinstance(pattern, ast.ParenPattern):
+        state.next_paren += 1
+        paren_id = state.next_paren
+        inner = _pad_to_nodes(_normalize(pattern.inner, state), state)
+        return ast.ParenPattern(
+            inner=inner,
+            where=pattern.where,
+            restrictor=pattern.restrictor,
+            square=pattern.square,
+            paren_id=paren_id,
+        )
+    if isinstance(pattern, ast.Alternation):
+        state.next_alt += 1
+        alt_id = state.next_alt
+        branches = [_pad_to_nodes(_normalize(b, state), state) for b in pattern.branches]
+        return ast.Alternation(branches=branches, operators=list(pattern.operators), alt_id=alt_id)
+    raise GpmlSyntaxError(f"cannot normalize pattern node {type(pattern).__name__}")
+
+
+def _anon_node(state: NormalizeState) -> ast.NodePattern:
+    return ast.NodePattern(var=state.fresh_node_var(), anonymous=True)
+
+
+def _pad_to_nodes(pattern: ast.Pattern, state: NormalizeState) -> ast.Pattern:
+    """Guarantee the pattern starts and ends at a node position."""
+    starts_edge = _starts_with_edge(pattern)
+    ends_edge = _ends_with_edge(pattern)
+    if not starts_edge and not ends_edge:
+        return pattern
+    items: list[ast.Pattern] = []
+    if starts_edge:
+        items.append(_anon_node(state))
+    if isinstance(pattern, ast.Concatenation):
+        items.extend(pattern.items)
+    else:
+        items.append(pattern)
+    if ends_edge:
+        items.append(_anon_node(state))
+    return ast.Concatenation(items=items)
+
+
+def _starts_with_edge(pattern: ast.Pattern) -> bool:
+    if isinstance(pattern, ast.EdgePattern):
+        return True
+    if isinstance(pattern, ast.NodePattern):
+        return False
+    if isinstance(pattern, ast.Concatenation):
+        return _starts_with_edge(pattern.items[0]) if pattern.items else False
+    if isinstance(pattern, (ast.Quantified, ast.OptionalPattern, ast.ParenPattern)):
+        inner = pattern.inner
+        return _starts_with_edge(inner)
+    if isinstance(pattern, ast.Alternation):
+        return any(_starts_with_edge(b) for b in pattern.branches)
+    return False
+
+
+def _ends_with_edge(pattern: ast.Pattern) -> bool:
+    if isinstance(pattern, ast.EdgePattern):
+        return True
+    if isinstance(pattern, ast.NodePattern):
+        return False
+    if isinstance(pattern, ast.Concatenation):
+        return _ends_with_edge(pattern.items[-1]) if pattern.items else False
+    if isinstance(pattern, (ast.Quantified, ast.OptionalPattern, ast.ParenPattern)):
+        return _ends_with_edge(pattern.inner)
+    if isinstance(pattern, ast.Alternation):
+        return any(_ends_with_edge(b) for b in pattern.branches)
+    return False

@@ -1,0 +1,114 @@
+"""Selectors (Figure 8) and the cheapest-path extension (Section 7.1).
+
+A selector conceptually partitions the (possibly infinite) solution space
+by path endpoints and keeps a finite subset per partition.  Selectors run
+*after* restrictors and after reduction/deduplication (Sections 5.1, 6.5),
+and before the cross-pattern join and the final WHERE (Section 5.2).
+
+The paper marks ANY, ANY k and ANY SHORTEST as non-deterministic.  This
+implementation refines them deterministically — the lexicographically
+least candidate by (length, walk elements, variable content) is chosen —
+which is one legal refinement and keeps tests and benchmarks stable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import GpmlEvaluationError
+from repro.gpml.ast import Selector
+from repro.gpml.bindings import ReducedBinding
+from repro.graph.model import PropertyGraph
+from repro.values import is_null
+
+
+def apply_selector(
+    selector: Selector | None,
+    solutions: list[ReducedBinding],
+    graph: PropertyGraph,
+    default_edge_cost: float = 1.0,
+) -> list[ReducedBinding]:
+    """Apply one selector to deduplicated solutions of a path pattern."""
+    if selector is None:
+        return solutions
+    partitions = _partition_by_endpoints(solutions)
+    out: list[ReducedBinding] = []
+    for partition in partitions.values():
+        out.extend(_select(selector, partition, graph, default_edge_cost))
+    return out
+
+
+def _partition_by_endpoints(
+    solutions: list[ReducedBinding],
+) -> "OrderedDict[tuple[str, str], list[ReducedBinding]]":
+    partitions: OrderedDict[tuple[str, str], list[ReducedBinding]] = OrderedDict()
+    for solution in solutions:
+        key = (solution.source_id, solution.target_id)
+        partitions.setdefault(key, []).append(solution)
+    return partitions
+
+
+def _select(
+    selector: Selector,
+    partition: list[ReducedBinding],
+    graph: PropertyGraph,
+    default_edge_cost: float,
+) -> list[ReducedBinding]:
+    ordered = sorted(partition, key=lambda s: s.sort_key())
+    kind = selector.kind
+    if kind == "ANY":
+        return ordered[:1]
+    if kind == "ANY_K":
+        return ordered[: _require_k(selector)]
+    if kind == "ANY_SHORTEST":
+        shortest = min(s.length for s in ordered)
+        return [next(s for s in ordered if s.length == shortest)]
+    if kind == "ALL_SHORTEST":
+        shortest = min(s.length for s in ordered)
+        return [s for s in ordered if s.length == shortest]
+    if kind == "SHORTEST_K":
+        return ordered[: _require_k(selector)]
+    if kind == "SHORTEST_K_GROUP":
+        k = _require_k(selector)
+        kept: list[ReducedBinding] = []
+        groups_seen: list[int] = []
+        for solution in ordered:
+            if solution.length not in groups_seen:
+                if len(groups_seen) >= k:
+                    break
+                groups_seen.append(solution.length)
+            kept.append(solution)
+        return kept
+    if kind in ("ANY_CHEAPEST", "TOP_K_CHEAPEST"):
+        cost_property = selector.cost_property or "cost"
+        costed = sorted(
+            ordered,
+            key=lambda s: (_solution_cost(s, graph, cost_property, default_edge_cost),)
+            + s.sort_key(),
+        )
+        k = 1 if kind == "ANY_CHEAPEST" else _require_k(selector)
+        return costed[:k]
+    raise GpmlEvaluationError(f"unknown selector kind {kind!r}")
+
+
+def _require_k(selector: Selector) -> int:
+    if selector.k is None or selector.k < 1:
+        raise GpmlEvaluationError(f"selector {selector} requires a positive k")
+    return selector.k
+
+
+def _solution_cost(
+    solution: ReducedBinding,
+    graph: PropertyGraph,
+    cost_property: str,
+    default_edge_cost: float,
+) -> float:
+    total = 0.0
+    # elements = n0, e0, n1, e1, ... ; edges at odd indexes.
+    for index in range(1, len(solution.elements), 2):
+        value = graph.property_of(solution.elements[index], cost_property, None)
+        if value is None or is_null(value):
+            total += default_edge_cost
+        else:
+            total += float(value)
+    return total

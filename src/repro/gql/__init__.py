@@ -1,0 +1,28 @@
+"""GQL host layer (Figure 9, right path).
+
+GQL consumes GPML bindings directly: results can carry graph elements and
+whole paths as first-class values (unlike SQL/PGQ, which projects to
+scalar columns).  This package provides the read-query surface of GQL
+that the paper's examples exercise:
+
+``[USE <graph>] MATCH ... [WHERE ...] RETURN [DISTINCT] items
+[ORDER BY ...] [LIMIT n] [OFFSET n]``
+"""
+
+from repro.gql.graph_output import (
+    binding_subgraph,
+    execute_match_as_graph,
+    result_graph,
+)
+from repro.gql.query import GqlQuery, GqlResult, parse_gql_query
+from repro.gql.session import GqlSession
+
+__all__ = [
+    "GqlQuery",
+    "GqlResult",
+    "GqlSession",
+    "binding_subgraph",
+    "execute_match_as_graph",
+    "parse_gql_query",
+    "result_graph",
+]

@@ -1,0 +1,104 @@
+"""GQL graph outputs (Figure 9, right output; Section 6.6).
+
+The paper: "each path binding defines a subgraph of the input graph given
+by its nodes and edges, together with annotations, given by variables
+assigned to them in the path binding.  This opens up more possibilities
+for structuring query outputs."
+
+This module implements that forward-looking output shape:
+
+* :func:`binding_subgraph` — the subgraph of one binding row, with a
+  ``_bound_to`` annotation property listing the variables naming each
+  element,
+* :func:`result_graph` — the union subgraph over all rows of a
+  :class:`~repro.gpml.engine.MatchResult` (a *graph view* of the match),
+* :func:`GqlSession.execute_graph <execute_match_as_graph>` — run a
+  MATCH and return the view as a new :class:`PropertyGraph`.
+"""
+
+from __future__ import annotations
+
+from repro.gpml.engine import BindingRow, MatchResult, match
+from repro.gpml.matcher import MatcherConfig
+from repro.graph.model import Edge, Node, PropertyGraph
+
+
+def _collect_elements(row: BindingRow) -> tuple[set[str], set[str], dict[str, set[str]]]:
+    """Node ids, edge ids, and element -> variable annotations of a row."""
+    node_ids: set[str] = set()
+    edge_ids: set[str] = set()
+    annotations: dict[str, set[str]] = {}
+    for path in row.paths:
+        node_ids.update(path.node_ids)
+        edge_ids.update(path.edge_ids)
+    for name, value in row.values.items():
+        values = value if isinstance(value, list) else [value]
+        for item in values:
+            if isinstance(item, Node):
+                node_ids.add(item.id)
+                annotations.setdefault(item.id, set()).add(name)
+            elif isinstance(item, Edge):
+                edge_ids.add(item.id)
+                annotations.setdefault(item.id, set()).add(name)
+    return node_ids, edge_ids, annotations
+
+
+def _build_subgraph(
+    source: PropertyGraph,
+    node_ids: set[str],
+    edge_ids: set[str],
+    annotations: dict[str, set[str]],
+    name: str,
+) -> PropertyGraph:
+    out = PropertyGraph(name=name)
+    for node_id in sorted(node_ids):
+        node = source.node(node_id)
+        properties = dict(node.properties)
+        if node_id in annotations:
+            properties["_bound_to"] = ",".join(sorted(annotations[node_id]))
+        out.add_node(node_id, labels=node.labels, properties=properties)
+    for edge_id in sorted(edge_ids):
+        edge = source.edge(edge_id)
+        first, second = edge.endpoint_ids
+        properties = dict(edge.properties)
+        if edge_id in annotations:
+            properties["_bound_to"] = ",".join(sorted(annotations[edge_id]))
+        out.add_edge(
+            edge_id, first, second,
+            labels=edge.labels, properties=properties, directed=edge.is_directed,
+        )
+    return out
+
+
+def binding_subgraph(
+    graph: PropertyGraph, row: BindingRow, name: str = "binding"
+) -> PropertyGraph:
+    """The subgraph defined by one path binding (Section 6.6)."""
+    node_ids, edge_ids, annotations = _collect_elements(row)
+    return _build_subgraph(graph, node_ids, edge_ids, annotations, name)
+
+
+def result_graph(
+    graph: PropertyGraph, result: MatchResult, name: str = "match_view"
+) -> PropertyGraph:
+    """The union subgraph over all binding rows — a graph view of a match."""
+    node_ids: set[str] = set()
+    edge_ids: set[str] = set()
+    annotations: dict[str, set[str]] = {}
+    for row in result.rows:
+        row_nodes, row_edges, row_ann = _collect_elements(row)
+        node_ids |= row_nodes
+        edge_ids |= row_edges
+        for element_id, names in row_ann.items():
+            annotations.setdefault(element_id, set()).update(names)
+    return _build_subgraph(graph, node_ids, edge_ids, annotations, name)
+
+
+def execute_match_as_graph(
+    graph: PropertyGraph,
+    query: str,
+    name: str = "match_view",
+    config: MatcherConfig | None = None,
+) -> PropertyGraph:
+    """Run a MATCH statement and return its graph view as a new graph."""
+    return result_graph(graph, match(graph, query, config), name=name)

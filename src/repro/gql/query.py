@@ -1,0 +1,302 @@
+"""GQL read queries: MATCH ... RETURN with ordering, limits, aggregation.
+
+Aggregation semantics (documented refinement, matching Cypher/PGQL
+practice and the paper's Section 3 discussion):
+
+* an aggregate over a **group variable** (one declared under a
+  quantifier) is *horizontal*: it folds over the iterations within one
+  binding row, like PGQL's group variables — ``SUM(e.amount)`` per path;
+* an aggregate over a **singleton** (or path) variable is *vertical*: it
+  folds over binding rows, with implicit grouping by the non-aggregate
+  RETURN items, like Cypher's ``count(x)``.
+
+Paths are first-class: ``RETURN p`` yields :class:`~repro.graph.path.Path`
+values, and ``length(p)`` / ``nodes(p)`` / ``edges(p)`` work on them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from repro.errors import GqlError
+from repro.gpml.engine import BindingRow, MatchResult, match, prepare
+from repro.gpml.expr import EvalContext, Expr
+from repro.gpml.matcher import MatcherConfig
+from repro.gpml.parser import GpmlParser
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.graph.path import Path
+from repro.values import NULL, is_null
+
+
+@dataclass
+class ReturnItem:
+    expr: Expr
+    alias: str
+    vertical_aggregate: bool = False
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool
+
+
+@dataclass
+class GqlQuery:
+    """A parsed GQL read query."""
+
+    graph_name: Optional[str]
+    pattern_text: str
+    items: list[ReturnItem]
+    distinct: bool
+    order_by: list[OrderItem]
+    limit: Optional[int]
+    offset: Optional[int]
+
+
+class GqlResult:
+    """Rows of projected values; elements and paths stay first-class."""
+
+    def __init__(self, columns: list[str], records: list[dict[str, Any]]):
+        self.columns = columns
+        self.records = records
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.records)
+
+    def column(self, name: str) -> list[Any]:
+        if name not in self.columns:
+            raise GqlError(f"unknown result column {name!r}")
+        return [record[name] for record in self.records]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.records) != 1 or len(self.columns) != 1:
+            raise GqlError(
+                f"scalar() requires a 1x1 result, got "
+                f"{len(self.records)}x{len(self.columns)}"
+            )
+        return self.records[0][self.columns[0]]
+
+    def to_table(self):
+        """Project into a relational table (ids for elements/paths)."""
+        from repro.pgq.graph_table import _to_sql_value
+        from repro.pgq.table import Table
+
+        rows = [
+            tuple(_to_sql_value(record[c]) for c in self.columns)
+            for record in self.records
+        ]
+        return Table(self.columns, rows, name="gql_result")
+
+    def __repr__(self) -> str:
+        return f"GqlResult({len(self.records)} rows, columns={self.columns})"
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+def parse_gql_query(text: str) -> GqlQuery:
+    parser = GpmlParser(text)
+    graph_name = None
+    token = parser.peek()
+    if token.type == "IDENT" and str(token.value).upper() == "USE":
+        parser.advance()
+        graph_name = parser.expect_ident()
+    pattern_start = parser.peek().position
+    parser.expect_keyword("MATCH")
+    parser.parse_graph_pattern_body()
+    if not parser.at_keyword("RETURN"):
+        parser.error("GQL query requires a RETURN clause")
+    pattern_text = text[pattern_start : parser.peek().position]
+    parser.advance()  # RETURN
+    distinct = bool(parser.accept_keyword("DISTINCT"))
+    items: list[ReturnItem] = []
+    while True:
+        expr = parser.parse_expression()
+        if parser.accept_keyword("AS"):
+            alias = parser.expect_name()
+        else:
+            alias = _default_alias(expr, len(items))
+        items.append(ReturnItem(expr=expr, alias=alias))
+        if not parser.accept_punct(","):
+            break
+    order_by: list[OrderItem] = []
+    if parser.accept_keyword("ORDER"):
+        parser.expect_keyword("BY")
+        while True:
+            expr = parser.parse_expression()
+            descending = False
+            if parser.accept_keyword("DESC"):
+                descending = True
+            else:
+                parser.accept_keyword("ASC")
+            order_by.append(OrderItem(expr=expr, descending=descending))
+            if not parser.accept_punct(","):
+                break
+    limit = offset = None
+    # LIMIT and OFFSET may come in either order.
+    for _ in range(2):
+        if parser.accept_keyword("LIMIT"):
+            limit = parser.expect_number()
+        elif parser.accept_keyword("OFFSET"):
+            offset = parser.expect_number()
+    parser.expect_eof()
+    return GqlQuery(
+        graph_name=graph_name,
+        pattern_text=pattern_text,
+        items=items,
+        distinct=distinct,
+        order_by=order_by,
+        limit=limit,
+        offset=offset,
+    )
+
+
+def _default_alias(expr: Expr, index: int) -> str:
+    text = str(expr)
+    if text.isidentifier():
+        return text
+    head, dot, tail = text.partition(".")
+    if dot and head.isidentifier() and tail.isidentifier():
+        return text
+    return f"col{index + 1}"
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def execute_gql(
+    graph: PropertyGraph, query: "str | GqlQuery", config: MatcherConfig | None = None
+) -> GqlResult:
+    parsed = parse_gql_query(query) if isinstance(query, str) else query
+    prepared = prepare(parsed.pattern_text)
+    result = match(graph, prepared, config)
+
+    group_vars: set[str] = set()
+    for path_analysis in prepared.analysis.paths:
+        group_vars |= set(path_analysis.group_vars)
+    has_vertical = False
+    for item in parsed.items:
+        item.vertical_aggregate = any(
+            agg.var not in group_vars for agg in item.expr.aggregates()
+        )
+        has_vertical = has_vertical or item.vertical_aggregate
+
+    if has_vertical:
+        records = _grouped_records(graph, parsed, result)
+    else:
+        records = _plain_records(graph, parsed, result)
+
+    if parsed.distinct:
+        records = _distinct_records(records, parsed)
+    if parsed.order_by:
+        records = _order_records(graph, records, parsed)
+    if parsed.offset:
+        records = records[parsed.offset :]
+    if parsed.limit is not None:
+        records = records[: parsed.limit]
+    return GqlResult(columns=[item.alias for item in parsed.items], records=records)
+
+
+def _plain_records(
+    graph: PropertyGraph, parsed: GqlQuery, result: MatchResult
+) -> list[dict[str, Any]]:
+    records = []
+    for row in result.rows:
+        ctx = EvalContext(bindings=row.values, graph=graph)
+        records.append({item.alias: item.expr.evaluate(ctx) for item in parsed.items})
+    return records
+
+
+class _GroupContext(EvalContext):
+    """Aggregation context: singleton lookups see the representative row,
+    group_items folds over all rows of the group."""
+
+    def __init__(self, rows: list[BindingRow], graph: PropertyGraph):
+        super().__init__(bindings=rows[0].values if rows else {}, graph=graph)
+        self._rows = rows
+
+    def group_items(self, name: str) -> list[Any]:
+        items = []
+        for row in self._rows:
+            value = row.values.get(name, NULL)
+            if isinstance(value, (list, tuple)):
+                items.extend(value)
+            elif not is_null(value):
+                items.append(value)
+        return items
+
+
+def _grouped_records(
+    graph: PropertyGraph, parsed: GqlQuery, result: MatchResult
+) -> list[dict[str, Any]]:
+    key_items = [item for item in parsed.items if not item.vertical_aggregate]
+    groups: dict[tuple, list[BindingRow]] = {}
+    order: list[tuple] = []
+    key_values: dict[tuple, dict[str, Any]] = {}
+    for row in result.rows:
+        ctx = EvalContext(bindings=row.values, graph=graph)
+        values = {item.alias: item.expr.evaluate(ctx) for item in key_items}
+        key = tuple(_group_key(values[item.alias]) for item in key_items)
+        if key not in groups:
+            order.append(key)
+            key_values[key] = values
+        groups.setdefault(key, []).append(row)
+    records = []
+    for key in order:
+        rows = groups[key]
+        record = dict(key_values[key])
+        group_ctx = _GroupContext(rows, graph)
+        for item in parsed.items:
+            if item.vertical_aggregate:
+                record[item.alias] = item.expr.evaluate(group_ctx)
+        # preserve RETURN item order
+        records.append({item.alias: record[item.alias] for item in parsed.items})
+    return records
+
+
+def _group_key(value: Any) -> Any:
+    if isinstance(value, (Node, Edge)):
+        return ("element", value.id)
+    if isinstance(value, Path):
+        return ("path", value.element_ids)
+    if isinstance(value, list):
+        return tuple(_group_key(v) for v in value)
+    if is_null(value):
+        return ("null",)
+    return value
+
+
+def _distinct_records(records: list[dict[str, Any]], parsed: GqlQuery) -> list[dict[str, Any]]:
+    seen: set[tuple] = set()
+    out = []
+    for record in records:
+        key = tuple(_group_key(record[item.alias]) for item in parsed.items)
+        if key not in seen:
+            seen.add(key)
+            out.append(record)
+    return out
+
+
+def _order_records(
+    graph: PropertyGraph, records: list[dict[str, Any]], parsed: GqlQuery
+) -> list[dict[str, Any]]:
+    # Per-item direction via stable sorts composed right-to-left.
+    ordered = list(records)
+    for index in range(len(parsed.order_by) - 1, -1, -1):
+        order = parsed.order_by[index]
+
+        def single_key(record: dict[str, Any], order=order) -> tuple:
+            ctx = EvalContext(bindings=record, graph=graph)
+            value = order.expr.evaluate(ctx)
+            if is_null(value):
+                return (1, "", "") if not order.descending else (-1, "", "")
+            return (0, type(value).__name__, value)
+
+        ordered = sorted(ordered, key=single_key, reverse=order.descending)
+    return ordered

@@ -1,0 +1,56 @@
+"""GQL sessions: a catalog of graphs plus query execution.
+
+A session holds named property graphs (GQL's catalog capability, reduced
+to what the paper's GPML scope needs) and executes read queries against
+them.  The graph is chosen by ``USE <name>`` in the query text, by the
+``graph`` argument, or by the session default.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import GqlError
+from repro.gpml.matcher import MatcherConfig
+from repro.gql.query import GqlResult, execute_gql, parse_gql_query
+from repro.graph.model import PropertyGraph
+
+
+class GqlSession:
+    """Executes GQL read queries against registered property graphs."""
+
+    def __init__(self, default_graph: PropertyGraph | None = None):
+        self._graphs: dict[str, PropertyGraph] = {}
+        self._default = default_graph
+        if default_graph is not None:
+            self._graphs[default_graph.name] = default_graph
+
+    def register_graph(self, name: str, graph: PropertyGraph, default: bool = False) -> None:
+        if name in self._graphs:
+            raise GqlError(f"graph {name!r} already registered")
+        self._graphs[name] = graph
+        if default or self._default is None:
+            self._default = graph
+
+    def graph(self, name: str) -> PropertyGraph:
+        if name not in self._graphs:
+            raise GqlError(f"unknown graph {name!r}")
+        return self._graphs[name]
+
+    def execute(
+        self,
+        query: str,
+        graph: PropertyGraph | None = None,
+        config: MatcherConfig | None = None,
+    ) -> GqlResult:
+        parsed = parse_gql_query(query)
+        target: Optional[PropertyGraph]
+        if parsed.graph_name is not None:
+            target = self.graph(parsed.graph_name)
+        elif graph is not None:
+            target = graph
+        else:
+            target = self._default
+        if target is None:
+            raise GqlError("no graph selected: USE <name>, pass graph=, or set a default")
+        return execute_gql(target, parsed, config)

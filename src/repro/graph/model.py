@@ -1,0 +1,425 @@
+"""The property-graph data model (Definition 2.1 of the paper).
+
+A property graph is a tuple G = (N, E, rho, lambda, pi) where
+
+* N is a finite set of node identifiers,
+* E is a finite set of edge identifiers, disjoint from N,
+* rho maps each edge to an ordered pair of nodes (directed edge) or to an
+  unordered pair {u, v} (undirected edge); u = v self-loops are allowed in
+  both cases,
+* lambda maps every element (node or edge) to a finite set of labels,
+* pi partially maps (element, property name) to property values.
+
+The implementation is an adjacency-indexed in-memory structure.  Elements
+are exposed through lightweight :class:`Node` and :class:`Edge` handles
+that compare by (graph, id), so handles can be used directly as dictionary
+keys and in result bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.errors import GraphError
+from repro.values import NULL
+
+# Directions in which an edge can be traversed relative to a node.
+OUT = "out"
+IN = "in"
+UNDIRECTED = "undirected"
+
+
+@dataclass(frozen=True)
+class Incidence:
+    """One way of leaving a node along an incident edge.
+
+    ``direction`` is OUT (a directed edge leaving the node), IN (a directed
+    edge entering the node, traversed against its direction), or UNDIRECTED.
+    ``other`` is the node reached by the traversal.
+    """
+
+    edge: str
+    other: str
+    direction: str
+
+
+@dataclass
+class _ElementData:
+    labels: frozenset[str]
+    properties: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _EdgeData(_ElementData):
+    first: str = ""
+    second: str = ""
+    directed: bool = True
+
+
+class _Element:
+    """Shared behaviour of Node and Edge handles."""
+
+    __slots__ = ("_graph", "_id")
+
+    def __init__(self, graph: "PropertyGraph", element_id: str):
+        self._graph = graph
+        self._id = element_id
+
+    @property
+    def id(self) -> str:
+        return self._id
+
+    @property
+    def graph(self) -> "PropertyGraph":
+        return self._graph
+
+    @property
+    def labels(self) -> frozenset[str]:
+        return self._data().labels
+
+    @property
+    def properties(self) -> Mapping[str, Any]:
+        return dict(self._data().properties)
+
+    def has_label(self, label: str) -> bool:
+        return label in self._data().labels
+
+    def get(self, key: str, default: Any = NULL) -> Any:
+        """Property access; missing properties yield NULL (SQL semantics)."""
+        return self._data().properties.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.get(key)
+
+    def _data(self) -> _ElementData:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, type(self))
+            and self._graph is other._graph
+            and self._id == other._id
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self._graph), self._id))
+
+    def __lt__(self, other: "_Element") -> bool:
+        return self._id < other._id
+
+
+class Node(_Element):
+    """Handle to a node of a property graph."""
+
+    __slots__ = ()
+
+    def _data(self) -> _ElementData:
+        return self._graph._nodes[self._id]
+
+    def incidences(self) -> list[Incidence]:
+        return self._graph.incidences(self._id)
+
+    def degree(self) -> int:
+        return len(self._graph.incidences(self._id))
+
+    def __repr__(self) -> str:
+        labels = ":".join(sorted(self.labels))
+        return f"({self._id}:{labels})" if labels else f"({self._id})"
+
+
+class Edge(_Element):
+    """Handle to an edge of a property graph."""
+
+    __slots__ = ()
+
+    def _data(self) -> _EdgeData:
+        return self._graph._edges[self._id]
+
+    @property
+    def is_directed(self) -> bool:
+        return self._data().directed
+
+    @property
+    def source(self) -> Node | None:
+        """Source node of a directed edge; None for undirected edges."""
+        data = self._data()
+        return self._graph.node(data.first) if data.directed else None
+
+    @property
+    def target(self) -> Node | None:
+        """Target node of a directed edge; None for undirected edges."""
+        data = self._data()
+        return self._graph.node(data.second) if data.directed else None
+
+    @property
+    def endpoint_ids(self) -> tuple[str, str]:
+        """Both endpoints.  Ordered (source, target) when directed."""
+        data = self._data()
+        return (data.first, data.second)
+
+    @property
+    def endpoints(self) -> tuple[Node, Node]:
+        first, second = self.endpoint_ids
+        return (self._graph.node(first), self._graph.node(second))
+
+    @property
+    def is_self_loop(self) -> bool:
+        data = self._data()
+        return data.first == data.second
+
+    def other_id(self, node_id: str) -> str:
+        """The endpoint opposite *node_id*; for self-loops, the node itself."""
+        data = self._data()
+        if node_id == data.first:
+            return data.second
+        if node_id == data.second:
+            return data.first
+        raise GraphError(f"node {node_id!r} is not an endpoint of edge {self._id!r}")
+
+    def connects(self, u: str, v: str) -> bool:
+        """True when the edge links nodes u and v (in either role)."""
+        data = self._data()
+        return {data.first, data.second} == {u, v}
+
+    def __repr__(self) -> str:
+        data = self._data()
+        labels = ":".join(sorted(self.labels))
+        tag = f"{self._id}:{labels}" if labels else self._id
+        if data.directed:
+            return f"-[{tag}]->({data.first}->{data.second})"
+        return f"~[{tag}]~({data.first}~{data.second})"
+
+
+class PropertyGraph:
+    """A mixed, attributed multigraph with handles, indexes and mutation.
+
+    >>> g = PropertyGraph(name="demo")
+    >>> a = g.add_node("a", labels=["Account"], properties={"owner": "Ada"})
+    >>> b = g.add_node("b", labels=["Account"])
+    >>> t = g.add_edge("t", "a", "b", labels=["Transfer"], properties={"amount": 5})
+    >>> [inc.other for inc in g.incidences("a")]
+    ['b']
+    """
+
+    def __init__(self, name: str = "graph"):
+        self.name = name
+        self._nodes: dict[str, _ElementData] = {}
+        self._edges: dict[str, _EdgeData] = {}
+        self._incidence: dict[str, list[Incidence]] = {}
+        self._node_label_index: dict[str, set[str]] = {}
+        self._edge_label_index: dict[str, set[str]] = {}
+        self._incidence_label_cache: dict[str, dict[str, list[Incidence]]] = {}
+        self._auto_counter = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _fresh_id(self, prefix: str) -> str:
+        while True:
+            self._auto_counter += 1
+            candidate = f"{prefix}{self._auto_counter}"
+            if candidate not in self._nodes and candidate not in self._edges:
+                return candidate
+
+    def add_node(
+        self,
+        node_id: str | None = None,
+        labels: Iterable[str] = (),
+        properties: Mapping[str, Any] | None = None,
+    ) -> Node:
+        if node_id is None:
+            node_id = self._fresh_id("_n")
+        if node_id in self._nodes or node_id in self._edges:
+            raise GraphError(f"duplicate element id {node_id!r}")
+        data = _ElementData(labels=frozenset(labels), properties=dict(properties or {}))
+        self._nodes[node_id] = data
+        self._incidence[node_id] = []
+        for label in data.labels:
+            self._node_label_index.setdefault(label, set()).add(node_id)
+        return Node(self, node_id)
+
+    def add_edge(
+        self,
+        edge_id: str | None,
+        first: str,
+        second: str,
+        labels: Iterable[str] = (),
+        properties: Mapping[str, Any] | None = None,
+        directed: bool = True,
+    ) -> Edge:
+        if edge_id is None:
+            edge_id = self._fresh_id("_e")
+        if edge_id in self._edges or edge_id in self._nodes:
+            raise GraphError(f"duplicate element id {edge_id!r}")
+        for endpoint in (first, second):
+            if endpoint not in self._nodes:
+                raise GraphError(f"unknown endpoint node {endpoint!r}")
+        data = _EdgeData(
+            labels=frozenset(labels),
+            properties=dict(properties or {}),
+            first=first,
+            second=second,
+            directed=directed,
+        )
+        self._edges[edge_id] = data
+        if directed:
+            self._incidence[first].append(Incidence(edge_id, second, OUT))
+            self._incidence[second].append(Incidence(edge_id, first, IN))
+        else:
+            self._incidence[first].append(Incidence(edge_id, second, UNDIRECTED))
+            if first != second:
+                self._incidence[second].append(Incidence(edge_id, first, UNDIRECTED))
+        for label in data.labels:
+            self._edge_label_index.setdefault(label, set()).add(edge_id)
+        self._incidence_label_cache.pop(first, None)
+        self._incidence_label_cache.pop(second, None)
+        return Edge(self, edge_id)
+
+    def add_undirected_edge(
+        self,
+        edge_id: str | None,
+        first: str,
+        second: str,
+        labels: Iterable[str] = (),
+        properties: Mapping[str, Any] | None = None,
+    ) -> Edge:
+        return self.add_edge(edge_id, first, second, labels, properties, directed=False)
+
+    def remove_edge(self, edge_id: str) -> None:
+        data = self._edges.pop(edge_id, None)
+        if data is None:
+            raise GraphError(f"unknown edge {edge_id!r}")
+        for endpoint in {data.first, data.second}:
+            self._incidence[endpoint] = [
+                inc for inc in self._incidence[endpoint] if inc.edge != edge_id
+            ]
+            self._incidence_label_cache.pop(endpoint, None)
+        for label in data.labels:
+            self._edge_label_index[label].discard(edge_id)
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node and every incident edge."""
+        if node_id not in self._nodes:
+            raise GraphError(f"unknown node {node_id!r}")
+        for inc in list(self._incidence[node_id]):
+            if inc.edge in self._edges:
+                self.remove_edge(inc.edge)
+        data = self._nodes.pop(node_id)
+        del self._incidence[node_id]
+        self._incidence_label_cache.pop(node_id, None)
+        for label in data.labels:
+            self._node_label_index[label].discard(node_id)
+
+    def set_property(self, element_id: str, key: str, value: Any) -> None:
+        self._element_data(element_id).properties[key] = value
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def _element_data(self, element_id: str) -> _ElementData:
+        if element_id in self._nodes:
+            return self._nodes[element_id]
+        if element_id in self._edges:
+            return self._edges[element_id]
+        raise GraphError(f"unknown element {element_id!r}")
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def has_edge(self, edge_id: str) -> bool:
+        return edge_id in self._edges
+
+    def node(self, node_id: str) -> Node:
+        if node_id not in self._nodes:
+            raise GraphError(f"unknown node {node_id!r}")
+        return Node(self, node_id)
+
+    def edge(self, edge_id: str) -> Edge:
+        if edge_id not in self._edges:
+            raise GraphError(f"unknown edge {edge_id!r}")
+        return Edge(self, edge_id)
+
+    def element(self, element_id: str) -> Node | Edge:
+        if element_id in self._nodes:
+            return Node(self, element_id)
+        if element_id in self._edges:
+            return Edge(self, element_id)
+        raise GraphError(f"unknown element {element_id!r}")
+
+    def is_node_id(self, element_id: str) -> bool:
+        return element_id in self._nodes
+
+    def nodes(self) -> Iterator[Node]:
+        for node_id in self._nodes:
+            yield Node(self, node_id)
+
+    def edges(self) -> Iterator[Edge]:
+        for edge_id in self._edges:
+            yield Edge(self, edge_id)
+
+    def node_ids(self) -> Iterator[str]:
+        return iter(self._nodes)
+
+    def edge_ids(self) -> Iterator[str]:
+        return iter(self._edges)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def incidences(self, node_id: str) -> list[Incidence]:
+        """All ways of leaving *node_id* along an incident edge."""
+        if node_id not in self._incidence:
+            raise GraphError(f"unknown node {node_id!r}")
+        return list(self._incidence[node_id])
+
+    def incidences_with_label(self, node_id: str, label: str) -> list[Incidence]:
+        """Incidences whose edge carries *label* (lazily cached per node).
+
+        The traversal fast path for edge patterns with a single required
+        label; the cache is invalidated by mutations touching the node.
+        """
+        if node_id not in self._incidence:
+            raise GraphError(f"unknown node {node_id!r}")
+        per_node = self._incidence_label_cache.get(node_id)
+        if per_node is None:
+            per_node = {}
+            self._incidence_label_cache[node_id] = per_node
+        cached = per_node.get(label)
+        if cached is None:
+            cached = [
+                inc
+                for inc in self._incidence[node_id]
+                if label in self._edges[inc.edge].labels
+            ]
+            per_node[label] = cached
+        return cached
+
+    def labels_of(self, element_id: str) -> frozenset[str]:
+        return self._element_data(element_id).labels
+
+    def property_of(self, element_id: str, key: str, default: Any = NULL) -> Any:
+        return self._element_data(element_id).properties.get(key, default)
+
+    def nodes_with_label(self, label: str) -> list[Node]:
+        return [Node(self, nid) for nid in sorted(self._node_label_index.get(label, ()))]
+
+    def edges_with_label(self, label: str) -> list[Edge]:
+        return [Edge(self, eid) for eid in sorted(self._edge_label_index.get(label, ()))]
+
+    def all_labels(self) -> frozenset[str]:
+        return frozenset(self._node_label_index) | frozenset(self._edge_label_index)
+
+    def __contains__(self, element_id: object) -> bool:
+        return element_id in self._nodes or element_id in self._edges
+
+    def __repr__(self) -> str:
+        return (
+            f"PropertyGraph(name={self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )

@@ -1,0 +1,84 @@
+"""JSON (de)serialization of property graphs.
+
+The paper lists "Exporting a graph element or path binding to JSON" as a
+Language Opportunity (Section 7.1); this module provides the graph half,
+and :mod:`repro.extensions.json_export` provides the binding half.
+
+The format is a stable, human-readable dictionary:
+
+.. code-block:: json
+
+    {
+      "name": "bank",
+      "nodes": [{"id": "a1", "labels": ["Account"], "properties": {...}}],
+      "edges": [{"id": "t1", "from": "a1", "to": "a3", "directed": true,
+                 "labels": ["Transfer"], "properties": {...}}]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import GraphError
+from repro.graph.model import PropertyGraph
+
+
+def graph_to_dict(graph: PropertyGraph) -> dict[str, Any]:
+    nodes = [
+        {
+            "id": node.id,
+            "labels": sorted(node.labels),
+            "properties": dict(node.properties),
+        }
+        for node in sorted(graph.nodes())
+    ]
+    edges = []
+    for edge in sorted(graph.edges()):
+        first, second = edge.endpoint_ids
+        edges.append(
+            {
+                "id": edge.id,
+                "from": first,
+                "to": second,
+                "directed": edge.is_directed,
+                "labels": sorted(edge.labels),
+                "properties": dict(edge.properties),
+            }
+        )
+    return {"name": graph.name, "nodes": nodes, "edges": edges}
+
+
+def graph_from_dict(data: dict[str, Any]) -> PropertyGraph:
+    graph = PropertyGraph(name=data.get("name", "graph"))
+    for node in data.get("nodes", ()):
+        graph.add_node(
+            node["id"],
+            labels=node.get("labels", ()),
+            properties=node.get("properties", {}),
+        )
+    for edge in data.get("edges", ()):
+        graph.add_edge(
+            edge["id"],
+            edge["from"],
+            edge["to"],
+            labels=edge.get("labels", ()),
+            properties=edge.get("properties", {}),
+            directed=edge.get("directed", True),
+        )
+    return graph
+
+
+def graph_to_json(graph: PropertyGraph, indent: int | None = 2) -> str:
+    return json.dumps(graph_to_dict(graph), indent=indent, sort_keys=False)
+
+
+def graph_from_json(text: str) -> PropertyGraph:
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid graph JSON: {exc}") from exc
+    if not isinstance(data, dict):
+        raise GraphError("graph JSON must be an object")
+    return graph_from_dict(data)

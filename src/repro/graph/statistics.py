@@ -1,0 +1,67 @@
+"""Summary statistics of a property graph (used by EXPLAIN and benchmarks)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.graph.model import OUT, PropertyGraph
+
+
+@dataclass(frozen=True)
+class GraphStatistics:
+    """A structural summary of a property graph."""
+
+    num_nodes: int
+    num_edges: int
+    num_directed_edges: int
+    num_undirected_edges: int
+    num_self_loops: int
+    node_label_histogram: dict[str, int]
+    edge_label_histogram: dict[str, int]
+    max_out_degree: int
+    mean_degree: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.num_nodes} nodes, {self.num_edges} edges "
+            f"({self.num_directed_edges} directed, "
+            f"{self.num_undirected_edges} undirected, "
+            f"{self.num_self_loops} self-loops); "
+            f"mean degree {self.mean_degree:.2f}"
+        )
+
+
+def graph_statistics(graph: PropertyGraph) -> GraphStatistics:
+    node_labels: Counter[str] = Counter()
+    for node in graph.nodes():
+        node_labels.update(node.labels)
+    edge_labels: Counter[str] = Counter()
+    directed = undirected = self_loops = 0
+    for edge in graph.edges():
+        edge_labels.update(edge.labels)
+        if edge.is_directed:
+            directed += 1
+        else:
+            undirected += 1
+        if edge.is_self_loop:
+            self_loops += 1
+    max_out = 0
+    total_inc = 0
+    for node_id in graph.node_ids():
+        incidences = graph.incidences(node_id)
+        total_inc += len(incidences)
+        out_degree = sum(1 for inc in incidences if inc.direction == OUT)
+        max_out = max(max_out, out_degree)
+    mean_degree = total_inc / graph.num_nodes if graph.num_nodes else 0.0
+    return GraphStatistics(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_directed_edges=directed,
+        num_undirected_edges=undirected,
+        num_self_loops=self_loops,
+        node_label_histogram=dict(node_labels),
+        edge_label_histogram=dict(edge_labels),
+        max_out_degree=max_out,
+        mean_degree=mean_degree,
+    )

@@ -1,0 +1,70 @@
+"""Non-computational paper artifacts exposed as data.
+
+Figure 10 is a standards-process timeline; it has no executable content,
+so the reproduction records it as structured data (and EXPERIMENTS.md
+documents it as such).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    date: str
+    standard: str  # "SQL/PGQ" | "GQL"
+    milestone: str
+
+
+#: Figure 10: SQL/PGQ and GQL Timeline (as printed in the paper; the
+#: paper notes the schedule could change).
+FIGURE10_TIMELINE: tuple[TimelineEntry, ...] = (
+    TimelineEntry("2017", "SQL/PGQ", "Work started"),
+    TimelineEntry("2018", "GQL", "Work started"),
+    TimelineEntry("2021-02-07", "SQL/PGQ", "CD Ballot End"),
+    TimelineEntry("2022-02-20", "GQL", "CD Ballot End"),
+    TimelineEntry("2022-12-04", "SQL/PGQ", "DIS Ballot End"),
+    TimelineEntry("2023-01-30", "SQL/PGQ", "Final Text to ISO"),
+    TimelineEntry("2023-03-13", "SQL/PGQ", "SQL/PGQ IS Published"),
+    TimelineEntry("2023-05-21", "GQL", "DIS Ballot End"),
+    TimelineEntry("2023-07-30", "GQL", "Final Text to ISO"),
+    TimelineEntry("2023-09-10", "GQL", "GQL IS Published"),
+)
+
+
+#: Figure 5, as data: orientation name -> (full form, abbreviation).
+FIGURE5_EDGE_PATTERNS = {
+    "Pointing left": ("<-[ spec ]-", "<-"),
+    "Undirected": ("~[ spec ]~", "~"),
+    "Pointing right": ("-[ spec ]->", "->"),
+    "Left or undirected": ("<~[ spec ]~", "<~"),
+    "Undirected or right": ("~[ spec ]~>", "~>"),
+    "Left or right": ("<-[ spec ]->", "<->"),
+    "Left, undirected or right": ("-[ spec ]-", "-"),
+}
+
+#: Figure 6, as data: quantifier -> description.
+FIGURE6_QUANTIFIERS = {
+    "{m,n}": "between m and n repetitions",
+    "{m,}": "m or more repetitions",
+    "*": "equivalent to {0,}",
+    "+": "equivalent to {1,}",
+}
+
+#: Figure 7, as data: restrictor -> description.
+FIGURE7_RESTRICTORS = {
+    "TRAIL": "No repeated edges.",
+    "ACYCLIC": "No repeated nodes.",
+    "SIMPLE": "No repeated nodes, except that the first and last nodes may be the same.",
+}
+
+#: Figure 8, as data: selector -> (description, deterministic?).
+FIGURE8_SELECTORS = {
+    "ANY SHORTEST": ("one path with shortest length per partition", False),
+    "ALL SHORTEST": ("all paths of minimal length per partition", True),
+    "ANY": ("one arbitrary path per partition", False),
+    "ANY k": ("k arbitrary paths per partition", False),
+    "SHORTEST k": ("the k shortest paths per partition", False),
+    "SHORTEST k GROUP": ("all paths in the first k length groups", True),
+}

@@ -1,0 +1,61 @@
+"""Catalog: named tables and named property graphs (the SQL/PGQ schema)."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import PgqError
+from repro.graph.model import PropertyGraph
+from repro.pgq.table import Table
+
+
+class Catalog:
+    """Holds the base tables and the graph views defined over them."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._graphs: dict[str, PropertyGraph] = {}
+
+    # -- tables ---------------------------------------------------------
+    def register_table(self, name: str, table: Table) -> None:
+        if name in self._tables:
+            raise PgqError(f"table {name!r} already exists")
+        self._tables[name] = table
+
+    def table(self, name: str) -> Table:
+        if name not in self._tables:
+            raise PgqError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> Iterator[str]:
+        return iter(sorted(self._tables))
+
+    # -- graphs ---------------------------------------------------------
+    def register_graph(self, name: str, graph: PropertyGraph) -> None:
+        if name in self._graphs:
+            raise PgqError(f"graph {name!r} already exists")
+        self._graphs[name] = graph
+
+    def graph(self, name: str) -> PropertyGraph:
+        if name not in self._graphs:
+            raise PgqError(f"unknown graph {name!r}")
+        return self._graphs[name]
+
+    def has_graph(self, name: str) -> bool:
+        return name in self._graphs
+
+    def graph_names(self) -> Iterator[str]:
+        return iter(sorted(self._graphs))
+
+    def execute(self, ddl: str) -> PropertyGraph:
+        """Execute a CREATE PROPERTY GRAPH statement against this catalog."""
+        from repro.pgq.ddl import parse_create_property_graph
+        from repro.pgq.graph_view import build_graph_view
+
+        spec = parse_create_property_graph(ddl)
+        graph = build_graph_view(self, spec)
+        self.register_graph(spec.name, graph)
+        return graph

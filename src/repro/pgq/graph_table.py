@@ -1,0 +1,99 @@
+"""The GRAPH_TABLE operator: GPML inside SQL/PGQ (Figure 9, left path).
+
+``graph_table(graph, "MATCH ... COLUMNS (x.owner AS A, ...)")`` runs the
+shared pattern-matching core and projects each binding row through the
+COLUMNS expressions into an ordinary :class:`~repro.pgq.table.Table` —
+the SQL host then composes freely (the paper's SELECT around
+GRAPH_TABLE).
+
+COLUMNS expressions are regular GPML value expressions, so horizontal
+aggregates over group variables work exactly as PGQL's group variables do
+(``SUM(e.amount)``, ``COUNT(e)``, ``LISTAGG(e.ID, ', ')`` — Section 3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import GpmlSyntaxError, PgqError
+from repro.gpml.engine import MatchResult, match
+from repro.gpml.expr import EvalContext, Expr
+from repro.gpml.matcher import MatcherConfig
+from repro.gpml.parser import GpmlParser
+from repro.graph.model import Edge, Node, PropertyGraph
+from repro.graph.path import Path
+from repro.pgq.table import Table
+
+
+def graph_table(
+    graph: PropertyGraph,
+    query: str,
+    config: MatcherConfig | None = None,
+    name: str = "graph_table",
+) -> Table:
+    """Evaluate ``MATCH ... [WHERE ...] COLUMNS (...)`` into a Table."""
+    statement = _parse_graph_table(query)
+    result = match(graph, statement.pattern_text, config)
+    columns = [column_name for column_name, _ in statement.columns]
+    rows = []
+    for row in result.rows:
+        ctx = EvalContext(bindings=row.values, graph=graph)
+        rows.append(
+            tuple(_to_sql_value(expr.evaluate(ctx)) for _, expr in statement.columns)
+        )
+    return Table(columns, rows, name=name)
+
+
+class _GraphTableStatement:
+    def __init__(self, pattern_text: str, columns: list[tuple[str, Expr]]):
+        self.pattern_text = pattern_text
+        self.columns = columns
+
+
+def _parse_graph_table(query: str) -> _GraphTableStatement:
+    parser = GpmlParser(query)
+    parser.expect_keyword("MATCH")
+    parser.parse_graph_pattern_body()
+    if not parser.at_keyword("COLUMNS"):
+        raise PgqError("GRAPH_TABLE query must end with a COLUMNS clause")
+    # The MATCH text (everything before COLUMNS) is re-parsed by the
+    # engine; slicing by token position keeps one source of truth.
+    columns_start = parser.peek().position
+    pattern_text = query[:columns_start]
+    parser.advance()  # COLUMNS
+    parser.expect_punct("(")
+    columns: list[tuple[str, Expr]] = []
+    while True:
+        expr = parser.parse_expression()
+        if parser.accept_keyword("AS"):
+            column_name = parser.expect_name()
+        else:
+            column_name = _default_column_name(expr, len(columns))
+        columns.append((column_name, expr))
+        if not parser.accept_punct(","):
+            break
+    parser.expect_punct(")")
+    parser.expect_eof()
+    return _GraphTableStatement(pattern_text=pattern_text, columns=columns)
+
+
+def _default_column_name(expr: Expr, index: int) -> str:
+    text = str(expr)
+    if text.isidentifier():
+        return text
+    if "." in text:
+        head, _, tail = text.partition(".")
+        if head.isidentifier() and tail.isidentifier():
+            return tail
+    return f"col{index + 1}"
+
+
+def _to_sql_value(value):
+    """Graph elements project as their ids; paths as their text form."""
+    if isinstance(value, (Node, Edge)):
+        return value.id
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, list):
+        return [_to_sql_value(v) for v in value]
+    return value

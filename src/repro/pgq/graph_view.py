@@ -1,0 +1,129 @@
+"""Materializing a property-graph view over tables (SQL/PGQ DDL semantics).
+
+A :class:`GraphSpec` says which tables contribute vertices and edges, how
+keys identify elements, and which columns become properties.  Building the
+view walks the tables once and produces a
+:class:`~repro.graph.model.PropertyGraph` — the right-to-left reading of
+the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import DdlError
+from repro.graph.model import PropertyGraph
+from repro.pgq.catalog import Catalog
+from repro.values import is_null
+
+
+@dataclass
+class VertexTableSpec:
+    """One VERTEX TABLES entry."""
+
+    table: str
+    key: Optional[str] = None  # default: first column
+    labels: tuple[str, ...] = ()  # default: table name
+    properties: Optional[tuple[str, ...]] = None  # default: all non-key columns
+    no_properties: bool = False
+
+
+@dataclass
+class EdgeTableSpec:
+    """One EDGE TABLES entry."""
+
+    table: str
+    source_key: str = ""
+    source_table: str = ""
+    destination_key: str = ""
+    destination_table: str = ""
+    key: Optional[str] = None
+    labels: tuple[str, ...] = ()
+    properties: Optional[tuple[str, ...]] = None
+    no_properties: bool = False
+    directed: bool = True
+
+
+@dataclass
+class GraphSpec:
+    """A parsed (or programmatically built) CREATE PROPERTY GRAPH."""
+
+    name: str
+    vertex_tables: list[VertexTableSpec] = field(default_factory=list)
+    edge_tables: list[EdgeTableSpec] = field(default_factory=list)
+
+
+def build_graph_view(catalog: Catalog, spec: GraphSpec) -> PropertyGraph:
+    """Materialize the property-graph view described by *spec*."""
+    graph = PropertyGraph(name=spec.name)
+    key_tables: dict[str, str] = {}  # element id -> owning table (collision check)
+
+    for vertex in spec.vertex_tables:
+        table = catalog.table(vertex.table)
+        key_column = vertex.key or table.columns[0]
+        labels = vertex.labels or (vertex.table,)
+        property_columns = _property_columns(vertex, table.columns, key_column)
+        for row in table.to_dicts():
+            element_id = _element_id(row, key_column, vertex.table)
+            if element_id in key_tables:
+                raise DdlError(
+                    f"vertex key {element_id!r} appears in both "
+                    f"{key_tables[element_id]!r} and {vertex.table!r}"
+                )
+            key_tables[element_id] = vertex.table
+            graph.add_node(
+                element_id,
+                labels=labels,
+                properties=_properties(row, property_columns),
+            )
+
+    for edge in spec.edge_tables:
+        table = catalog.table(edge.table)
+        key_column = edge.key or table.columns[0]
+        labels = edge.labels or (edge.table,)
+        excluded = {key_column, edge.source_key, edge.destination_key}
+        property_columns = _property_columns(edge, table.columns, excluded)
+        for row in table.to_dicts():
+            element_id = _element_id(row, key_column, edge.table)
+            source = str(row[edge.source_key])
+            destination = str(row[edge.destination_key])
+            for endpoint in (source, destination):
+                if not graph.has_node(endpoint):
+                    raise DdlError(
+                        f"edge table {edge.table!r} references unknown vertex "
+                        f"key {endpoint!r}"
+                    )
+            graph.add_edge(
+                element_id,
+                source,
+                destination,
+                labels=labels,
+                properties=_properties(row, property_columns),
+                directed=edge.directed,
+            )
+    return graph
+
+
+def _element_id(row: dict, key_column: str, table: str) -> str:
+    value = row.get(key_column)
+    if is_null(value):
+        raise DdlError(f"NULL key in table {table!r}")
+    return str(value)
+
+
+def _property_columns(spec, columns: Sequence[str], excluded) -> tuple[str, ...]:
+    if spec.no_properties:
+        return ()
+    if spec.properties is not None:
+        unknown = set(spec.properties) - set(columns)
+        if unknown:
+            raise DdlError(f"unknown property columns {sorted(unknown)} in {spec.table!r}")
+        return tuple(spec.properties)
+    if isinstance(excluded, str):
+        excluded = {excluded}
+    return tuple(c for c in columns if c not in excluded)
+
+
+def _properties(row: dict, columns: tuple[str, ...]) -> dict:
+    return {c: row[c] for c in columns if not is_null(row.get(c))}

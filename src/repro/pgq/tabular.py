@@ -1,0 +1,68 @@
+"""Tabular representation of a property graph (Figure 2, left-to-right).
+
+The paper: "The tabular representation has a relation for every
+combination of labels that appears on some node or edge in the graph" —
+node c2 with labels {City, Country} lands in a relation named
+``CityCountry``, not in ``City`` or ``Country``.
+
+Column conventions: ``ID`` for the element id; directed edge endpoints in
+``SRC``/``DST``; undirected endpoints in ``END1``/``END2``; property
+columns follow, sorted by name, NULL where an element lacks the property.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.graph.model import PropertyGraph
+from repro.pgq.table import Table
+from repro.values import NULL
+
+
+def label_combination_name(labels: frozenset[str]) -> str:
+    """Relation name for a label combination: sorted concatenation."""
+    if not labels:
+        return "Unlabeled"
+    return "".join(sorted(labels))
+
+
+def tabular_representation(graph: PropertyGraph) -> dict[str, Table]:
+    """One relation per label combination appearing in the graph.
+
+    Node and edge relations with a colliding name get an ``_E`` suffix on
+    the edge side (cannot happen for the paper's banking graph).
+    """
+    tables: "OrderedDict[str, Table]" = OrderedDict()
+
+    node_groups: dict[frozenset, list] = {}
+    for node in sorted(graph.nodes()):
+        node_groups.setdefault(node.labels, []).append(node)
+    for labels in sorted(node_groups, key=label_combination_name):
+        nodes = node_groups[labels]
+        prop_names = sorted({k for n in nodes for k in n.properties})
+        columns = ["ID"] + prop_names
+        rows = [
+            [node.id] + [node.get(p, NULL) for p in prop_names] for node in nodes
+        ]
+        table_name = label_combination_name(labels)
+        tables[table_name] = Table(columns, rows, name=table_name)
+
+    edge_groups: dict[tuple, list] = {}
+    for edge in sorted(graph.edges()):
+        edge_groups.setdefault((edge.labels, edge.is_directed), []).append(edge)
+    for labels, directed in sorted(
+        edge_groups, key=lambda key: label_combination_name(key[0])
+    ):
+        edges = edge_groups[(labels, directed)]
+        prop_names = sorted({k for e in edges for k in e.properties})
+        endpoint_columns = ["SRC", "DST"] if directed else ["END1", "END2"]
+        columns = ["ID"] + endpoint_columns + prop_names
+        rows = []
+        for edge in edges:
+            first, second = edge.endpoint_ids
+            rows.append([edge.id, first, second] + [edge.get(p, NULL) for p in prop_names])
+        table_name = label_combination_name(labels)
+        if table_name in tables:
+            table_name = f"{table_name}_E"
+        tables[table_name] = Table(columns, rows, name=table_name)
+    return dict(tables)

@@ -1,0 +1,45 @@
+"""Shared fixtures: the paper's graph and small purpose-built graphs."""
+
+import pytest
+
+from repro.datasets import figure1_graph
+from repro.graph import GraphBuilder
+
+
+@pytest.fixture()
+def fig1():
+    """A fresh copy of the paper's Figure 1 banking graph."""
+    return figure1_graph()
+
+
+@pytest.fixture()
+def mixed_graph():
+    """One directed and one undirected edge plus a self-loop.
+
+    Used by the edge-orientation (Figure 5) tests: from node ``a``,
+    edge ``d`` points right to ``b``; edge ``u`` is undirected to ``c``;
+    ``loop`` is a directed self-loop on ``a``.
+    """
+    return (
+        GraphBuilder("mixed")
+        .node("a", "N")
+        .node("b", "N")
+        .node("c", "N")
+        .directed("d", "a", "b", "E")
+        .undirected("u", "a", "c", "E")
+        .directed("loop", "a", "a", "E")
+        .build()
+    )
+
+
+@pytest.fixture()
+def two_cycle():
+    """Two nodes with edges both ways (the smallest cyclic graph)."""
+    return (
+        GraphBuilder("two_cycle")
+        .node("x", "N")
+        .node("y", "N")
+        .directed("f", "x", "y", "E")
+        .directed("g", "y", "x", "E")
+        .build()
+    )

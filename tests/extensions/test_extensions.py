@@ -1,0 +1,131 @@
+"""Extensions: match modes, cheapest paths, JSON export (§7.1 LOs)."""
+
+import json
+
+import pytest
+
+from repro.extensions import (
+    any_cheapest_path,
+    filter_edge_isomorphic,
+    filter_node_isomorphic,
+    result_to_json,
+    result_to_jsonable,
+    top_k_cheapest_paths,
+)
+from repro.graph import GraphBuilder
+from repro.gpml import match
+
+
+@pytest.fixture()
+def toll_graph():
+    return (
+        GraphBuilder("toll")
+        .node("s", "N", name="start")
+        .node("m", "N")
+        .node("t", "N", name="goal")
+        .directed("fast", "s", "t", "R", toll=10)
+        .directed("slow1", "s", "m", "R", toll=2)
+        .directed("slow2", "m", "t", "R", toll=3)
+        .build()
+    )
+
+
+class TestMatchModes:
+    def test_edge_isomorphic_filters_shared_edges(self, two_cycle):
+        result = match(two_cycle, "MATCH (x)-[r1]-(y), (y)-[r2]-(z)")
+        filtered = filter_edge_isomorphic(result)
+        assert len(filtered) < len(result)
+        for row in filtered:
+            edge_ids = [e for p in row.paths for e in p.edge_ids]
+            assert len(edge_ids) == len(set(edge_ids))
+
+    def test_node_isomorphic_is_stricter(self, fig1):
+        result = match(fig1, "MATCH (x)-[:Transfer]->(y)-[:Transfer]->(z)")
+        edge_iso = filter_edge_isomorphic(result)
+        node_iso = filter_node_isomorphic(result)
+        assert len(node_iso) <= len(edge_iso) <= len(result)
+        for row in node_iso:
+            node_ids = [n for p in row.paths for n in p.node_ids]
+            assert len(node_ids) == len(set(node_ids))
+
+    def test_variables_preserved(self, fig1):
+        result = match(fig1, "MATCH (x)-[t:Transfer]->(y)")
+        filtered = filter_edge_isomorphic(result)
+        assert filtered.variables == result.variables
+
+
+class TestCheapest:
+    def test_any_cheapest_path(self, toll_graph):
+        path = any_cheapest_path(
+            toll_graph,
+            "(a WHERE a.name='start')-[e:R]->*(b WHERE b.name='goal')",
+            cost_property="toll",
+        )
+        assert str(path) == "path(s,slow1,m,slow2,t)"
+        assert path.cost("toll") == 5.0
+
+    def test_no_match_returns_none(self, toll_graph):
+        assert (
+            any_cheapest_path(
+                toll_graph,
+                "(a WHERE a.name='nope')-[e:R]->*(b WHERE b.name='goal')",
+                cost_property="toll",
+            )
+            is None
+        )
+
+    def test_top_k(self, toll_graph):
+        paths = top_k_cheapest_paths(
+            toll_graph,
+            "(a WHERE a.name='start')-[e:R]->+(b WHERE b.name='goal')",
+            k=2,
+            cost_property="toll",
+        )
+        assert [str(p) for p in paths] == [
+            "path(s,slow1,m,slow2,t)",
+            "path(s,fast,t)",
+        ]
+
+    def test_negative_costs_rejected(self):
+        from repro.errors import GpmlEvaluationError
+
+        g = (
+            GraphBuilder("neg")
+            .node("a", "N")
+            .node("b", "N")
+            .directed("e", "a", "b", "R", toll=-1)
+            .build()
+        )
+        with pytest.raises(GpmlEvaluationError):
+            match(g, "MATCH ANY CHEAPEST COST toll p = (a)-[e]->*(b)")
+
+
+class TestJsonExport:
+    def test_elements_and_groups(self, fig1):
+        result = match(
+            fig1, "MATCH (a WHERE a.owner='Scott')-[e:Transfer]->{1,2}(b)"
+        )
+        data = result_to_jsonable(result)
+        assert all(isinstance(row["e"], list) for row in data)
+        first = min(data, key=lambda r: len(r["e"]))
+        assert first["a"]["id"] == "a1"
+        assert first["a"]["labels"] == ["Account"]
+        assert first["e"][0]["directed"] is True
+        assert first["e"][0]["from"] == "a1"
+
+    def test_paths_and_nulls(self, fig1):
+        result = match(
+            fig1, "MATCH p = (x WHERE x.owner='Jay') [-[:Transfer]->(y)]?"
+        )
+        data = result_to_jsonable(result)
+        ys = sorted(
+            ((row["y"] or {}).get("id", None) for row in data), key=str
+        )
+        assert ys == ["a6", None] or ys == [None, "a6"]
+        for row in data:
+            assert set(row["p"]) == {"length", "nodes", "edges", "elements"}
+
+    def test_valid_json(self, fig1):
+        result = match(fig1, "MATCH (c:City)")
+        parsed = json.loads(result_to_json(result))
+        assert parsed[0]["c"]["properties"]["name"] == "Ankh-Morpork"

@@ -1,0 +1,118 @@
+"""Path macros (§7.1 LO) and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import GpmlSyntaxError
+from repro.extensions.macros import MacroRegistry
+from repro.graph import graph_to_json
+
+
+class TestMacros:
+    def test_simple_expansion(self, fig1):
+        macros = MacroRegistry()
+        macros.define("hop", "-[:Transfer]->")
+        result = macros.match(fig1, "MATCH (a) $hop$ (b) $hop$ (c)")
+        assert len(result) == 11  # all 2-step transfer walks
+
+    def test_nested_macros(self):
+        macros = MacroRegistry()
+        macros.define("hop", "-[:Transfer]->")
+        macros.define("two", "$hop$ () $hop$")
+        assert (
+            macros.expand("MATCH (a) $two$ (b)")
+            == "MATCH (a) -[:Transfer]-> () -[:Transfer]-> (b)"
+        )
+
+    def test_multiple_use_is_the_point(self, fig1):
+        # "Path macros for multiple use in a query" (§7.1)
+        macros = MacroRegistry()
+        macros.define("located", "-[:isLocatedIn]->(:City WHERE SAME(g, g))")
+        macros.define("in_am", "-[:isLocatedIn]->(g:City WHERE g.name='Ankh-Morpork')")
+        result = macros.match(
+            fig1,
+            "MATCH (x:Account WHERE x.isBlocked='no') $in_am$, "
+            "(y:Account WHERE y.isBlocked='yes') $in_am$, "
+            "TRAIL (x)-[:Transfer]->+(y)",
+        )
+        pairs = sorted({(r["x"]["owner"], r["y"]["owner"]) for r in result})
+        assert pairs == [("Aretha", "Jay"), ("Dave", "Jay")]
+
+    def test_cycle_detected(self):
+        macros = MacroRegistry()
+        macros.define("a", "$b$")
+        macros.define("b", "$a$")
+        with pytest.raises(GpmlSyntaxError, match="cyclic"):
+            macros.expand("MATCH (x) $a$ (y)")
+
+    def test_unknown_macro(self):
+        macros = MacroRegistry()
+        with pytest.raises(GpmlSyntaxError, match="unknown macro"):
+            macros.expand("MATCH (x) $nope$ (y)")
+
+    def test_duplicate_definition(self):
+        macros = MacroRegistry()
+        macros.define("m", "->")
+        with pytest.raises(GpmlSyntaxError):
+            macros.define("m", "<-")
+
+    def test_invalid_name(self):
+        with pytest.raises(GpmlSyntaxError):
+            MacroRegistry().define("2bad", "->")
+
+    def test_names_listing(self):
+        macros = MacroRegistry()
+        macros.define("b", "->")
+        macros.define("a", "<-")
+        assert macros.names() == ["a", "b"]
+
+
+class TestCli:
+    def test_table_output(self, capsys):
+        code = main(['MATCH (x:Account WHERE x.isBlocked="yes")'])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "a4" in out and "1 row(s)" in out
+
+    def test_json_output(self, capsys):
+        code = main(["--format", "json", 'MATCH (c:City)'])
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data[0]["c"]["properties"]["name"] == "Ankh-Morpork"
+
+    def test_paths_output(self, capsys):
+        code = main([
+            "--format", "paths",
+            'MATCH ANY SHORTEST p = (a WHERE a.owner="Dave")-[:Transfer]->+'
+            '(b WHERE b.owner="Aretha")',
+        ])
+        assert code == 0
+        assert "path(a6,t5,a3,t2,a2)" in capsys.readouterr().out
+
+    def test_explain(self, capsys):
+        code = main(["--explain", "MATCH TRAIL (a)-[e:Transfer]->*(b)"])
+        assert code == 0
+        assert "strategy: enumerate" in capsys.readouterr().out
+
+    def test_custom_graph_file(self, tmp_path, capsys, two_cycle):
+        path = tmp_path / "g.json"
+        path.write_text(graph_to_json(two_cycle))
+        code = main(["--graph", str(path), "MATCH (a)-[e:E]->(b)"])
+        assert code == 0
+        assert "2 row(s)" in capsys.readouterr().out
+
+    def test_syntax_error_exit_code(self, capsys):
+        code = main(["MATCH (x"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_termination_error_reported(self, capsys):
+        code = main(["MATCH (a)-[e]->*(b)"])
+        assert code == 1
+        assert "Section 5" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        code = main(["--graph", "/nonexistent.json", "MATCH (a)"])
+        assert code == 1

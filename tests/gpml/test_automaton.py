@@ -1,0 +1,104 @@
+"""Unit tests for NFA compilation."""
+
+import pytest
+
+from repro.gpml import ast
+from repro.gpml.analysis import analyze
+from repro.gpml.automaton import (
+    EnterQuant,
+    ExitQuant,
+    IterBegin,
+    NodeTest,
+    ScopeBegin,
+    ScopeEnd,
+    compile_path_pattern,
+)
+from repro.gpml.normalize import normalize_graph_pattern
+from repro.gpml.parser import parse_match
+
+
+def compiled(text, index=0):
+    normalized = normalize_graph_pattern(parse_match(text))
+    analysis = analyze(normalized)
+    return compile_path_pattern(normalized.paths[index], analysis.paths[index])
+
+
+def actions(nfa, of_type):
+    out = []
+    for state in range(nfa.num_states):
+        for eps in nfa.epsilons[state]:
+            if isinstance(eps.action, of_type):
+                out.append(eps.action)
+    return out
+
+
+class TestStructure:
+    def test_single_node(self):
+        nfa = compiled("MATCH (x)")
+        assert nfa.num_states == 2
+        tests = actions(nfa, NodeTest)
+        assert len(tests) == 1 and tests[0].pattern.var == "x"
+
+    def test_node_edge_node(self):
+        nfa = compiled("MATCH (x)-[e]->(y)")
+        edges = [t for state in nfa.edges for t in state]
+        assert len(edges) == 1
+        assert edges[0].pattern.var == "e"
+        assert len(actions(nfa, NodeTest)) == 2
+
+    def test_quantifier_counters(self):
+        nfa = compiled("MATCH (a)-[e]->{2,5}(b)")
+        iter_begins = actions(nfa, IterBegin)
+        assert len(iter_begins) == 1
+        assert iter_begins[0].upper == 5 and iter_begins[0].cap == 5
+        exits = actions(nfa, ExitQuant)
+        assert exits[0].lower == 2
+
+    def test_unbounded_counter_saturates_at_lower(self):
+        nfa = compiled("MATCH TRAIL (a)-[e]->{3,}(b)")
+        iter_begins = actions(nfa, IterBegin)
+        assert iter_begins[0].upper is None
+        assert iter_begins[0].cap == 3
+
+    def test_path_restrictor_becomes_scope(self):
+        nfa = compiled("MATCH TRAIL (a)->*(b)")
+        begins = actions(nfa, ScopeBegin)
+        ends = actions(nfa, ScopeEnd)
+        assert any(b.restrictor == "TRAIL" for b in begins)
+        assert any(e.restrictor == "TRAIL" for e in ends)
+
+    def test_paren_where_on_scope_end(self):
+        nfa = compiled("MATCH [(a)-[e]->(b) WHERE a.x = b.x]")
+        ends = [e for e in actions(nfa, ScopeEnd) if e.where is not None]
+        assert len(ends) == 1
+
+    def test_alternation_branches(self):
+        nfa = compiled("MATCH (a) | (b) | (c)")
+        # one epsilon fan-out per branch from the start region
+        tests = actions(nfa, NodeTest)
+        assert {t.pattern.var for t in tests} == {"a", "b", "c"}
+
+    def test_describe_is_readable(self):
+        text = compiled("MATCH (x)-[e]->(y)").describe()
+        assert "states:" in text
+        assert "-ε->" in text
+
+
+class TestCounterSemantics:
+    def test_zero_lower_allows_skip(self, fig1):
+        from repro.gpml import match
+
+        result = match(fig1, "MATCH (a WHERE a.owner='Jay')-[:Transfer]->{0,1}(b)")
+        # zero-length (a=b=a4) plus t4
+        assert len(result) == 2
+
+    def test_exact_bounds_enforced(self, fig1):
+        from repro.gpml import match
+
+        result = match(fig1, "MATCH (a:Account)-[:Transfer]->{3}(b)")
+        assert all(row.paths[0].length == 3 for row in result)
+
+    def test_nested_quantifier_ids_disjoint(self):
+        nfa = compiled("MATCH TRAIL (a) [[(p)-[e]->(q)]{1,2} -[f]->]{1,3} (b)")
+        enters = actions(nfa, EnterQuant)
+        assert len({e.quant_id for e in enters}) == 2

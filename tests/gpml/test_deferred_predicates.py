@@ -1,0 +1,80 @@
+"""Deferred prefilters: element WHEREs that reference later variables."""
+
+import pytest
+
+from repro.gpml import match, prepare
+from repro.gpml.parser import parse_match
+from repro.gpml.normalize import normalize_graph_pattern
+from repro.gpml.analysis import analyze
+
+
+class TestForwardReferences:
+    def test_edge_where_referencing_target(self, fig1):
+        # e's WHERE references b, declared to its right: evaluated once
+        # the full path is known, still as a prefilter.
+        result = match(
+            fig1,
+            "MATCH (a:Account)-[e:Transfer WHERE e.amount > 9M AND "
+            "b.isBlocked = 'yes']->(b:Account)",
+        )
+        assert result.to_dicts() == [{"a": "a2", "e": "t3", "b": "a4"}]
+
+    def test_node_where_referencing_later_node(self, fig1):
+        result = match(
+            fig1,
+            "MATCH (a:Account WHERE b.owner = 'Jay')-[e:Transfer]->(b:Account)",
+        )
+        assert result.to_dicts() == [{"a": "a2", "e": "t3", "b": "a4"}]
+
+    def test_equivalent_to_postfilter(self, fig1):
+        inline = match(
+            fig1,
+            "MATCH (a:Account WHERE a.owner = b.owner)-[e:Transfer]->{1,3}(b)",
+        )
+        postfix = match(
+            fig1,
+            "MATCH (a:Account)-[e:Transfer]->{1,3}(b) WHERE a.owner = b.owner",
+        )
+        assert sorted(str(p) for p in inline.paths()) == sorted(
+            str(p) for p in postfix.paths()
+        )
+
+    def test_deferral_detected_statically(self):
+        normalized = normalize_graph_pattern(
+            parse_match("MATCH (a WHERE b.owner='Jay')-[e]->(b)")
+        )
+        analysis = analyze(normalized)
+        assert len(analysis.paths[0].deferred_wheres) == 1
+
+    def test_no_deferral_for_backward_refs(self):
+        normalized = normalize_graph_pattern(
+            parse_match("MATCH (a)-[e]->(b WHERE a.owner='Jay')")
+        )
+        analysis = analyze(normalized)
+        assert len(analysis.paths[0].deferred_wheres) == 0
+
+    def test_deferred_with_selector_still_prefilter(self, fig1):
+        # the deferred predicate runs before the selector: a path that
+        # fails it cannot be "the shortest".
+        result = match(
+            fig1,
+            "MATCH ANY SHORTEST p = (a:Account WHERE b.owner='Jay')"
+            "-[:Transfer]->+(b:Account)",
+        )
+        # shortest paths *to Jay* per start; e.g. from a1 length 3
+        lengths = {
+            (p.source_id): p.length for p in result.paths()
+        }
+        assert lengths["a2"] == 1
+        assert lengths["a1"] == 3
+
+
+class TestParenWhereDeferral:
+    def test_paren_where_with_forward_ref(self, fig1):
+        result = match(
+            fig1,
+            "MATCH [(a:Account)-[e:Transfer]-> WHERE z.owner = 'Jay'] ()"
+            "-[f:Transfer]->(z)",
+        )
+        assert all(row["z"]["owner"] == "Jay" for row in result)
+        assert len(result) == 1  # a3-t2->a2-t3->a4

@@ -1,0 +1,146 @@
+"""Graph patterns: joins across comma-separated path patterns (§4.3, §6.6)."""
+
+import pytest
+
+from repro.gpml import match
+from repro.gpml.engine import prepare
+from repro.gpml.matcher import MatcherConfig
+
+
+class TestImplicitJoins:
+    def test_shared_variable_joins(self, fig1):
+        split = match(
+            fig1,
+            "MATCH (p:Phone)~[:hasPhone]~(s:Account), "
+            "(s)-[t:Transfer WHERE t.amount>1M]->(d)",
+        )
+        single = match(
+            fig1,
+            "MATCH (p:Phone)~[:hasPhone]~(s:Account)"
+            "-[t:Transfer WHERE t.amount>1M]->(d)",
+        )
+
+        def canon(result):
+            return sorted(tuple(sorted(d.items())) for d in result.to_dicts())
+
+        assert canon(split) == canon(single)
+
+    def test_three_way_join(self, fig1):
+        # Section 4.3's three-pattern query (with unblocked phones so it
+        # has results on Figure 1, where no phone is blocked).
+        result = match(
+            fig1,
+            "MATCH (s:Account)-[:signInWithIP]-(), "
+            "(s)-[t:Transfer WHERE t.amount>1M]->(), "
+            "(s)~[:hasPhone]~(p:Phone WHERE p.isBlocked='no')",
+        )
+        assert sorted({row["s"].id for row in result}) == ["a1", "a5"]
+
+    def test_blocked_phone_variant_empty(self, fig1):
+        # as printed in the paper (blocked phone): no results on Figure 1
+        result = match(
+            fig1,
+            "MATCH (s:Account)-[:signInWithIP]-(), "
+            "(s)-[t:Transfer WHERE t.amount>1M]->(), "
+            "(s)~[:hasPhone]~(p:Phone WHERE p.isBlocked='yes')",
+        )
+        assert len(result) == 0
+
+    def test_cross_product_when_no_shared_vars(self, fig1):
+        result = match(fig1, "MATCH (c:City), (i:IP)")
+        assert len(result) == 2  # 1 city x 2 IPs
+
+    def test_join_on_edge_variable(self, fig1):
+        result = match(fig1, "MATCH (x)-[e:Transfer]->(y), (x)-[e]->(z)")
+        assert len(result) == 8
+        assert all(row["y"] == row["z"] for row in result)
+
+    def test_multiple_paths_per_row(self, fig1):
+        result = match(fig1, "MATCH (c:City), (i:IP)")
+        for row in result:
+            assert len(row.paths) == 2
+            assert row.paths[0].length == 0
+
+
+class TestFigure4Query:
+    QUERY = (
+        "MATCH (x:Account WHERE x.isBlocked='no')-[:isLocatedIn]->"
+        "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+        "(y:Account WHERE y.isBlocked='yes'), "
+        "TRAIL (x)-[:Transfer]->+(y)"
+    )
+
+    def test_owner_pairs(self, fig1):
+        result = match(fig1, self.QUERY)
+        pairs = sorted({(row["x"]["owner"], row["y"]["owner"]) for row in result})
+        assert pairs == [("Aretha", "Jay"), ("Dave", "Jay")]
+
+    def test_row_count_counts_transfer_paths(self, fig1):
+        # one a2->a4 trail, three a6->a4 trails
+        result = match(fig1, self.QUERY)
+        assert len(result) == 4
+
+    def test_join_respects_selector_per_pattern(self, fig1):
+        query = self.QUERY.replace("TRAIL", "ANY SHORTEST")
+        result = match(fig1, query)
+        assert len(result) == 2  # one path per (x, y) partition
+
+
+class TestPostfilter:
+    def test_final_where_after_join(self, fig1):
+        result = match(
+            fig1,
+            "MATCH (x:Account)-[t:Transfer]->(y:Account), (y)-[u:Transfer]->(z) "
+            "WHERE t.amount + u.amount > 18M",
+        )
+        for row in result:
+            assert row["t"]["amount"] + row["u"]["amount"] > 18_000_000
+        assert len(result) > 0
+
+    def test_same_across_patterns(self, fig1):
+        result = match(
+            fig1,
+            "MATCH (x:Account)-[:Transfer]->(y), (z:Account)-[:isLocatedIn]->(c) "
+            "WHERE SAME(x, z)",
+        )
+        assert all(row["x"] == row["z"] for row in result)
+        assert len(result) == 8
+
+    def test_all_different_postfilter(self, two_cycle):
+        # x->y->x walks exist in the 2-cycle; ALL_DIFFERENT removes them
+        total = match(two_cycle, "MATCH (x)-[:E]->(y)-[:E]->(z)")
+        distinct = match(
+            two_cycle,
+            "MATCH (x)-[:E]->(y)-[:E]->(z) WHERE ALL_DIFFERENT(x, y, z)",
+        )
+        assert len(total) == 2 and len(distinct) == 0
+
+    def test_all_different_no_op_on_acyclic_rows(self, fig1):
+        distinct = match(
+            fig1,
+            "MATCH (x:Account)-[:Transfer]->(y)-[:Transfer]->(z) "
+            "WHERE ALL_DIFFERENT(x, y, z)",
+        )
+        for row in distinct:
+            assert len({row["x"].id, row["y"].id, row["z"].id}) == 3
+
+
+class TestPreparedQueries:
+    def test_prepare_once_run_many(self, fig1):
+        prepared = prepare("MATCH (x:Account WHERE x.isBlocked='no')")
+        first = match(fig1, prepared)
+        second = match(fig1, prepared)
+        assert first.to_dicts() == second.to_dicts()
+
+    def test_prepared_across_graphs(self, fig1):
+        from repro.datasets import random_transfer_network
+
+        prepared = prepare("MATCH (x:Account)-[t:Transfer]->(y)")
+        small = match(fig1, prepared)
+        synthetic = match(random_transfer_network(5, 9, seed=1), prepared)
+        assert len(small) == 8
+        assert len(synthetic) == 9
+
+    def test_visible_variables(self):
+        prepared = prepare("MATCH p = (x)-[e]->(y), (y)~(z)")
+        assert prepared.visible_variables() == ["e", "x", "y", "z", "p"]

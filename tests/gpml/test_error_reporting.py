@@ -1,0 +1,96 @@
+"""Error reporting quality: positions, messages, exception taxonomy."""
+
+import pytest
+
+from repro.errors import (
+    ConditionalJoinError,
+    GpmlAnalysisError,
+    GpmlError,
+    GpmlSyntaxError,
+    NonTerminationError,
+    ReproError,
+    VariableScopeError,
+)
+from repro.gpml import match, prepare
+from repro.gpml.parser import parse_match
+
+
+class TestSyntaxErrorPositions:
+    def test_position_in_message(self):
+        with pytest.raises(GpmlSyntaxError) as err:
+            parse_match("MATCH (x")
+        assert "line 1" in str(err.value)
+        assert "column" in str(err.value)
+
+    def test_multiline_position(self):
+        with pytest.raises(GpmlSyntaxError) as err:
+            parse_match("MATCH (a)->(b)\n  WHERE a.x = ")
+        assert "line 2" in str(err.value)
+
+    @pytest.mark.parametrize(
+        "query, fragment",
+        [
+            ("MATCH", "expected a pattern element"),
+            ("MATCH (a) WHERE", "expected an expression"),
+            ("MATCH (a)-[e]>(b)", "expected"),
+            ("MATCH ALL (a)->(b)", "expected SHORTEST"),
+            ("MATCH SHORTEST (a)->(b)", "expected integer"),
+            ("MATCH (a){1,2}", "cannot be applied to a node pattern"),
+            ("MATCH -[e]->{2,5}?", "unexpected trailing input"),
+            ("MATCH (a) extra", "unexpected trailing input"),
+        ],
+    )
+    def test_messages_are_specific(self, query, fragment):
+        with pytest.raises(GpmlSyntaxError) as err:
+            parse_match(query)
+        assert fragment in str(err.value)
+
+
+class TestExceptionTaxonomy:
+    def test_hierarchy(self):
+        assert issubclass(GpmlSyntaxError, GpmlError)
+        assert issubclass(NonTerminationError, GpmlAnalysisError)
+        assert issubclass(ConditionalJoinError, GpmlAnalysisError)
+        assert issubclass(VariableScopeError, GpmlAnalysisError)
+        assert issubclass(GpmlError, ReproError)
+
+    def test_one_catch_all(self, fig1):
+        for bad in [
+            "MATCH (x",
+            "MATCH (a)->*(b)",
+            "MATCH [(x)->(y)] | [(x)->(z)], (y)->(w)",
+            "MATCH (x) WHERE nosuch.a = 1",
+        ]:
+            with pytest.raises(ReproError):
+                match(fig1, bad)
+
+    def test_analysis_errors_at_prepare_time(self):
+        # legality is static: no graph needed to reject
+        with pytest.raises(NonTerminationError):
+            prepare("MATCH (a)->*(b)")
+        with pytest.raises(VariableScopeError):
+            prepare("MATCH (x)-[x]->(y)")
+
+
+class TestHostErrorPropagation:
+    def test_gql_inherits_pattern_errors(self, fig1):
+        from repro.gql import GqlSession
+
+        session = GqlSession(fig1)
+        with pytest.raises(NonTerminationError):
+            session.execute("MATCH (a)-[e]->*(b) RETURN a")
+
+    def test_pgq_inherits_pattern_errors(self, fig1):
+        from repro.pgq import graph_table
+
+        with pytest.raises(NonTerminationError):
+            graph_table(fig1, "MATCH (a)-[e]->*(b) COLUMNS (a)")
+
+    def test_gql_unknown_return_variable(self, fig1):
+        from repro.gql import GqlSession
+
+        session = GqlSession(fig1)
+        # unknown variables in RETURN evaluate to NULL (SQL-style), they
+        # do not crash — the pattern-level analysis only governs WHERE
+        result = session.execute("MATCH (a:City) RETURN missing")
+        assert len(result) == 1

@@ -1,0 +1,52 @@
+"""EXPLAIN output and matcher safety budgets."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.gpml import match, prepare
+from repro.gpml.explain import explain, explain_automaton
+from repro.gpml.matcher import MatcherConfig
+
+
+class TestExplain:
+    def test_mentions_strategy_and_variables(self):
+        text = explain("MATCH ALL SHORTEST TRAIL p = (a:Account)-[e:Transfer]->*(b)")
+        assert "strategy: shortest" in text
+        assert "selector: ALL SHORTEST" in text
+        assert "restrictor: TRAIL" in text
+        assert "variable e: edge (group)" in text
+        assert "variable a: node (singleton)" in text
+        assert "termination:" in text
+
+    def test_conditional_classified(self):
+        text = explain("MATCH (x) [->(y)]?")
+        assert "variable y: node (conditional singleton)" in text
+
+    def test_join_and_postfilter_reported(self):
+        text = explain("MATCH (a)->(b), (b)->(c) WHERE a.x = 1")
+        assert "cross-pattern join on: b" in text
+        assert "postfilter: WHERE" in text
+
+    def test_accepts_prepared_query(self):
+        prepared = prepare("MATCH (x)")
+        assert "strategy: enumerate" in explain(prepared)
+
+    def test_automaton_dump(self):
+        text = explain_automaton("MATCH (x)-[e]->(y)")
+        assert "states:" in text
+
+
+class TestBudgets:
+    def test_max_results_guard(self, fig1):
+        config = MatcherConfig(max_results=3)
+        with pytest.raises(BudgetExceededError):
+            match(fig1, "MATCH (x)-[e]-(y)", config)
+
+    def test_max_steps_guard(self, fig1):
+        config = MatcherConfig(max_steps=10)
+        with pytest.raises(BudgetExceededError):
+            match(fig1, "MATCH TRAIL (a)-[e:Transfer]->*(b)", config)
+
+    def test_defaults_are_generous(self, fig1):
+        result = match(fig1, "MATCH TRAIL (a)-[e:Transfer]->*(b)")
+        assert len(result) > 50

@@ -1,0 +1,84 @@
+"""Unit tests for label expressions (Section 4.1)."""
+
+import pytest
+
+from repro.gpml.label_expr import LabelAnd, LabelAtom, LabelNot, LabelOr, LabelWildcard
+from repro.gpml.parser import GpmlParser
+
+
+def parse_labels(text):
+    parser = GpmlParser(text)
+    expr = parser.parse_label_expression()
+    parser.expect_eof()
+    return expr
+
+
+class TestMatching:
+    def test_atom(self):
+        assert LabelAtom("Account").matches(frozenset({"Account", "Vip"}))
+        assert not LabelAtom("Account").matches(frozenset({"City"}))
+
+    def test_wildcard_requires_some_label(self):
+        assert LabelWildcard().matches(frozenset({"X"}))
+        assert not LabelWildcard().matches(frozenset())
+
+    def test_not_wildcard_means_unlabeled(self):
+        # the paper's (:!%) example
+        expr = parse_labels("!%")
+        assert expr.matches(frozenset())
+        assert not expr.matches(frozenset({"X"}))
+
+    def test_conjunction(self):
+        expr = parse_labels("City&Country")
+        assert expr.matches(frozenset({"City", "Country"}))
+        assert not expr.matches(frozenset({"City"}))
+
+    def test_disjunction(self):
+        expr = parse_labels("Account|IP")
+        assert expr.matches(frozenset({"IP"}))
+        assert expr.matches(frozenset({"Account"}))
+        assert not expr.matches(frozenset({"Phone"}))
+
+    def test_negation(self):
+        expr = parse_labels("!Account")
+        assert expr.matches(frozenset({"City"}))
+        assert expr.matches(frozenset())
+        assert not expr.matches(frozenset({"Account"}))
+
+    def test_precedence_not_over_and_over_or(self):
+        # !A&B|C parses as ((!A)&B)|C
+        expr = parse_labels("!A&B|C")
+        assert isinstance(expr, LabelOr)
+        assert expr.matches(frozenset({"C"}))
+        assert expr.matches(frozenset({"B"}))
+        assert not expr.matches(frozenset({"A", "B"}))
+
+    def test_grouping(self):
+        expr = parse_labels("!(A|B)")
+        assert expr.matches(frozenset({"C"}))
+        assert not expr.matches(frozenset({"A"}))
+        assert not expr.matches(frozenset({"B"}))
+
+
+class TestStructure:
+    def test_referenced_labels(self):
+        expr = parse_labels("(A|B)&!C")
+        assert expr.referenced_labels() == {"A", "B", "C"}
+        assert parse_labels("%").referenced_labels() == frozenset()
+
+    def test_str_round_trip(self):
+        for text in ["A", "%", "!A", "A&B", "A|B", "(A|B)&C", "!(A&B)"]:
+            expr = parse_labels(text)
+            again = parse_labels(str(expr))
+            assert str(again) == str(expr)
+
+    def test_engine_integration(self, fig1):
+        from repro.gpml import match
+
+        # conjunction: only c2 carries both City and Country
+        assert match(fig1, "MATCH (c:City&Country)").ids("c") == ["c2"]
+        # negated conjunction over accounts-or-ips
+        result = match(fig1, "MATCH (x:Account|IP)")
+        assert len(result) == 8
+        # nothing is unlabeled in figure 1
+        assert len(match(fig1, "MATCH (x:!%)")) == 0

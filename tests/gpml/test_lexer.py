@@ -1,0 +1,107 @@
+"""Unit tests for the GPML tokenizer."""
+
+import pytest
+
+from repro.errors import GpmlSyntaxError
+from repro.gpml.lexer import EOF, IDENT, KEYWORD, NUMBER, PUNCT, STRING, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type != EOF]
+
+
+class TestBasics:
+    def test_identifiers_and_keywords(self):
+        assert kinds("MATCH Account x") == [
+            (KEYWORD, "MATCH"),
+            (IDENT, "Account"),
+            (IDENT, "x"),
+        ]
+
+    def test_keywords_case_insensitive(self):
+        assert kinds("match Where aNd") == [
+            (KEYWORD, "MATCH"),
+            (KEYWORD, "WHERE"),
+            (KEYWORD, "AND"),
+        ]
+
+    def test_identifiers_case_sensitive(self):
+        assert kinds("Account account") == [(IDENT, "Account"), (IDENT, "account")]
+
+    def test_strings_with_escape(self):
+        assert kinds("'Ankh-Morpork' 'it''s'") == [
+            (STRING, "Ankh-Morpork"),
+            (STRING, "it's"),
+        ]
+
+    def test_unterminated_string(self):
+        with pytest.raises(GpmlSyntaxError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        assert kinds("42 3.5 5M 10k 1e3") == [
+            (NUMBER, 42),
+            (NUMBER, 3.5),
+            (NUMBER, 5_000_000),
+            (NUMBER, 10_000),
+            (NUMBER, 1000.0),
+        ]
+
+    def test_magnitude_suffix_requires_word_boundary(self):
+        # 5Max is NUMBER(5) IDENT(Max), not 5_000_000 'ax'
+        assert kinds("5Max") == [(NUMBER, 5), (KEYWORD, "MAX")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(GpmlSyntaxError) as err:
+            tokenize("a $ b")
+        assert "line 1" in str(err.value)
+
+
+class TestPunctuation:
+    def test_arrows_stay_atomic_chars(self):
+        # The lexer must NOT glue '-[' or '<-': the parser assembles them.
+        values = [v for _, v in kinds("(a)<-[e]-(b)")]
+        assert values == ["(", "a", ")", "<", "-", "[", "e", "]", "-", "(", "b", ")"]
+
+    def test_greedy_comparison_operators(self):
+        assert [v for _, v in kinds("a <= b >= c <> d")] == [
+            "a", "<=", "b", ">=", "c", "<>", "d",
+        ]
+
+    def test_less_than_minus_not_glued(self):
+        # 'a < -1' must lex as '<' then '-' (comparison + unary minus)
+        assert [v for _, v in kinds("a < -1")] == ["a", "<", "-", 1]
+
+    def test_multiset_alternation_operator(self):
+        assert [v for _, v in kinds("a |+| b | c")] == ["a", "|+|", "b", "|", "c"]
+
+    def test_glued_flag(self):
+        tokens = tokenize("-[e]->")
+        assert tokens[0].glued is False
+        assert all(t.glued for t in tokens[1:-1])
+        spaced = tokenize("- [")
+        assert spaced[1].glued is False
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("a // comment here\n b") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_block_comment(self):
+        assert kinds("a /* x\ny */ b") == [(IDENT, "a"), (IDENT, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(GpmlSyntaxError):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_positions_recorded(self):
+        tokens = tokenize("MATCH (x)")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 6
+
+    def test_error_reports_line_and_column(self):
+        with pytest.raises(GpmlSyntaxError) as err:
+            tokenize("ok\n  'bad")
+        assert "line 2" in str(err.value)

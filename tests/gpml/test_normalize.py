@@ -1,0 +1,139 @@
+"""Unit tests for normalization (Section 6.2)."""
+
+import pytest
+
+from repro.gpml import ast
+from repro.gpml.normalize import is_anonymous_name, normalize_graph_pattern
+from repro.gpml.parser import parse_match
+
+
+def normalize(text):
+    return normalize_graph_pattern(parse_match(text))
+
+
+def flatten(pattern):
+    """Leaf node/edge patterns in left-to-right order."""
+    if isinstance(pattern, (ast.NodePattern, ast.EdgePattern)):
+        return [pattern]
+    out = []
+    for sub in pattern.sub_patterns():
+        out.extend(flatten(sub))
+    return out
+
+
+class TestAlternationOfNodesAndEdges:
+    def test_bare_edge_gets_anonymous_nodes(self):
+        # the paper: MATCH -[e]-> behaves like ()-[e]->()
+        normalized = normalize("MATCH -[e]->").paths[0].pattern
+        leaves = flatten(normalized)
+        kinds = [type(leaf).__name__ for leaf in leaves]
+        assert kinds == ["NodePattern", "EdgePattern", "NodePattern"]
+        assert leaves[0].anonymous and leaves[2].anonymous
+
+    def test_quantified_bare_edge_wrapped(self):
+        # [-[b:T]->]+ becomes [()-[b:T]->()]{1,} (Section 6.2)
+        normalized = normalize("MATCH TRAIL [-[b:Transfer]->]+").paths[0].pattern
+        # top structure: Concat(anon, Quantified(Paren(Concat(anon, edge, anon))), anon)
+        quant = next(p for p in normalized.walk() if isinstance(p, ast.Quantified))
+        inner_leaves = flatten(quant.inner)
+        assert [type(l).__name__ for l in inner_leaves] == [
+            "NodePattern",
+            "EdgePattern",
+            "NodePattern",
+        ]
+
+    def test_consecutive_edges_get_junction_node(self):
+        normalized = normalize("MATCH (a)-[e]->-[f]->(b)").paths[0].pattern
+        kinds = [type(l).__name__ for l in flatten(normalized)]
+        assert kinds == [
+            "NodePattern",
+            "EdgePattern",
+            "NodePattern",
+            "EdgePattern",
+            "NodePattern",
+        ]
+
+    def test_adjacent_node_patterns_kept(self):
+        # (a)(b) stays two node tests at one position (unification)
+        normalized = normalize("MATCH (a)(b)").paths[0].pattern
+        kinds = [type(l).__name__ for l in flatten(normalized)]
+        assert kinds == ["NodePattern", "NodePattern"]
+
+
+class TestFreshVariables:
+    def test_every_leaf_has_a_variable(self):
+        normalized = normalize("MATCH ()-[]->()-[:isLocatedIn]->(y)")
+        for leaf in flatten(normalized.paths[0].pattern):
+            assert leaf.var is not None
+
+    def test_anonymous_names_are_unique(self):
+        normalized = normalize("MATCH ()-[]->()-[]->()")
+        names = [leaf.var for leaf in flatten(normalized.paths[0].pattern)]
+        assert len(set(names)) == len(names)
+
+    def test_named_variables_untouched(self):
+        normalized = normalize("MATCH (x)-[e]->(y)")
+        names = [leaf.var for leaf in flatten(normalized.paths[0].pattern)]
+        assert names == ["x", "e", "y"]
+
+    def test_is_anonymous_name(self):
+        normalized = normalize("MATCH -[e]->")
+        leaves = flatten(normalized.paths[0].pattern)
+        assert is_anonymous_name(leaves[0].var)
+        assert not is_anonymous_name("e")
+
+
+class TestIds:
+    def test_quantifier_ids_assigned(self):
+        normalized = normalize("MATCH TRAIL ->* ->+")
+        quants = [
+            p for p in normalized.paths[0].pattern.walk() if isinstance(p, ast.Quantified)
+        ]
+        assert sorted(q.quant_id for q in quants) == [1, 2]
+
+    def test_paren_and_alt_ids(self):
+        normalized = normalize("MATCH [(a)->(b)] | [(a)->(c)]")
+        pattern = normalized.paths[0].pattern
+        alts = [p for p in pattern.walk() if isinstance(p, ast.Alternation)]
+        parens = [p for p in pattern.walk() if isinstance(p, ast.ParenPattern)]
+        assert len(alts) == 1 and alts[0].alt_id == 1
+        assert sorted(p.paren_id for p in parens) == [1, 2]
+
+    def test_input_ast_not_mutated(self):
+        raw = parse_match("MATCH TRAIL ->*")
+        quant_before = [
+            p for p in raw.paths[0].pattern.walk() if isinstance(p, ast.Quantified)
+        ][0]
+        assert quant_before.quant_id == -1
+        normalize_graph_pattern(raw)
+        assert quant_before.quant_id == -1
+
+
+class TestNestedStructures:
+    def test_nested_quantifiers(self):
+        normalized = normalize("MATCH TRAIL [[(p)->(q)]{1,2} ->]{1,3}")
+        quants = [
+            p for p in normalized.paths[0].pattern.walk() if isinstance(p, ast.Quantified)
+        ]
+        assert len(quants) == 2
+
+    def test_alternation_branches_padded(self):
+        normalized = normalize("MATCH (x) [-> | ->->] (y)")
+        alt = next(
+            p for p in normalized.paths[0].pattern.walk() if isinstance(p, ast.Alternation)
+        )
+        for branch in alt.branches:
+            leaves = flatten(branch)
+            assert isinstance(leaves[0], ast.NodePattern)
+            assert isinstance(leaves[-1], ast.NodePattern)
+
+    def test_optional_inner_padded(self):
+        normalized = normalize("MATCH (x) [->]?")
+        optional = next(
+            p
+            for p in normalized.paths[0].pattern.walk()
+            if isinstance(p, ast.OptionalPattern)
+        )
+        leaves = flatten(optional.inner)
+        assert isinstance(leaves[0], ast.NodePattern)
+        assert isinstance(leaves[-1], ast.NodePattern)

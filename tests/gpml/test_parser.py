@@ -1,0 +1,285 @@
+"""Unit tests for the GPML parser: grammar coverage and round-trips."""
+
+import pytest
+
+from repro.errors import GpmlSyntaxError
+from repro.gpml import ast
+from repro.gpml.parser import parse_expression, parse_match, parse_path_pattern
+from repro.gpml import expr as E
+
+
+def roundtrip(text):
+    first = parse_match(text)
+    second = parse_match(str(first))
+    assert str(second) == str(first)
+    return first
+
+
+class TestNodePatterns:
+    def test_minimal(self):
+        stmt = parse_match("MATCH ()")
+        node = stmt.paths[0].pattern
+        assert isinstance(node, ast.NodePattern)
+        assert node.var is None and node.label is None and node.where is None
+
+    def test_full(self):
+        stmt = parse_match("MATCH (x:Account WHERE x.isBlocked='no')")
+        node = stmt.paths[0].pattern
+        assert node.var == "x"
+        assert str(node.label) == "Account"
+        assert "isBlocked" in str(node.where)
+
+    def test_label_only(self):
+        node = parse_match("MATCH (:Account)").paths[0].pattern
+        assert node.var is None and str(node.label) == "Account"
+
+    def test_where_only(self):
+        node = parse_match("MATCH (WHERE TRUE)").paths[0].pattern
+        assert node.var is None and node.where is not None
+
+
+class TestEdgePatterns:
+    @pytest.mark.parametrize(
+        "text, orientation",
+        [
+            ("<-[e]-", ast.Orientation.LEFT),
+            ("~[e]~", ast.Orientation.UNDIRECTED),
+            ("-[e]->", ast.Orientation.RIGHT),
+            ("<~[e]~", ast.Orientation.LEFT_OR_UNDIRECTED),
+            ("~[e]~>", ast.Orientation.UNDIRECTED_OR_RIGHT),
+            ("<-[e]->", ast.Orientation.LEFT_OR_RIGHT),
+            ("-[e]-", ast.Orientation.ANY),
+        ],
+    )
+    def test_full_forms(self, text, orientation):
+        stmt = parse_match(f"MATCH (a){text}(b)")
+        edge = stmt.paths[0].pattern.items[1]
+        assert isinstance(edge, ast.EdgePattern)
+        assert edge.orientation is orientation
+        assert edge.var == "e"
+
+    @pytest.mark.parametrize(
+        "abbrev, orientation",
+        [
+            ("<-", ast.Orientation.LEFT),
+            ("~", ast.Orientation.UNDIRECTED),
+            ("->", ast.Orientation.RIGHT),
+            ("<~", ast.Orientation.LEFT_OR_UNDIRECTED),
+            ("~>", ast.Orientation.UNDIRECTED_OR_RIGHT),
+            ("<->", ast.Orientation.LEFT_OR_RIGHT),
+            ("-", ast.Orientation.ANY),
+        ],
+    )
+    def test_abbreviations(self, abbrev, orientation):
+        stmt = parse_match(f"MATCH (a){abbrev}(b)")
+        edge = stmt.paths[0].pattern.items[1]
+        assert edge.orientation is orientation
+        assert edge.var is None
+
+    def test_edge_spec_with_label_and_where(self):
+        stmt = parse_match("MATCH -[e:Transfer WHERE e.amount>5M]->")
+        edge = stmt.paths[0].pattern
+        assert edge.var == "e"
+        assert str(edge.label) == "Transfer"
+
+    def test_bad_edge(self):
+        with pytest.raises(GpmlSyntaxError):
+            parse_match("MATCH (a)<[e](b)")
+
+
+class TestQuantifiers:
+    def test_range(self):
+        stmt = parse_match("MATCH -[e]->{2,5}")
+        quant = stmt.paths[0].pattern
+        assert isinstance(quant, ast.Quantified)
+        assert (quant.lower, quant.upper) == (2, 5)
+
+    def test_open_range(self):
+        quant = parse_match("MATCH TRAIL -[e]->{3,}").paths[0].pattern
+        assert (quant.lower, quant.upper) == (3, None)
+        assert quant.unbounded
+
+    def test_exact(self):
+        quant = parse_match("MATCH -[e]->{4}").paths[0].pattern
+        assert (quant.lower, quant.upper) == (4, 4)
+
+    def test_star_plus(self):
+        star = parse_match("MATCH TRAIL ->*").paths[0].pattern
+        plus = parse_match("MATCH TRAIL ->+").paths[0].pattern
+        assert (star.lower, star.upper) == (0, None)
+        assert (plus.lower, plus.upper) == (1, None)
+
+    def test_question_mark_is_optional_not_quantifier(self):
+        stmt = parse_match("MATCH (x) [->(y)]?")
+        optional = stmt.paths[0].pattern.items[1]
+        assert isinstance(optional, ast.OptionalPattern)
+
+    def test_quantifier_on_paren(self):
+        stmt = parse_match("MATCH [(a)->(b)]{2,5}")
+        quant = stmt.paths[0].pattern
+        assert isinstance(quant, ast.Quantified)
+        assert isinstance(quant.inner, ast.ParenPattern)
+
+    def test_quantifier_rejected_on_node(self):
+        with pytest.raises(GpmlSyntaxError):
+            parse_match("MATCH (a){2,5}")
+
+    def test_double_quantifier_rejected(self):
+        with pytest.raises(GpmlSyntaxError):
+            parse_match("MATCH -[e]->{2,5}*")
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(GpmlSyntaxError):
+            parse_match("MATCH -[e]->{5,2}")
+
+
+class TestSelectorsRestrictors:
+    @pytest.mark.parametrize(
+        "text, kind, k",
+        [
+            ("ANY", "ANY", None),
+            ("ANY 3", "ANY_K", 3),
+            ("ANY SHORTEST", "ANY_SHORTEST", None),
+            ("ALL SHORTEST", "ALL_SHORTEST", None),
+            ("SHORTEST 2", "SHORTEST_K", 2),
+            ("SHORTEST 2 GROUP", "SHORTEST_K_GROUP", 2),
+            ("ANY CHEAPEST", "ANY_CHEAPEST", None),
+            ("TOP 4 CHEAPEST", "TOP_K_CHEAPEST", 4),
+        ],
+    )
+    def test_selectors(self, text, kind, k):
+        stmt = parse_match(f"MATCH {text} (a)->*(b)")
+        selector = stmt.paths[0].selector
+        assert selector.kind == kind
+        assert selector.k == k
+
+    def test_cheapest_cost_property(self):
+        stmt = parse_match("MATCH ANY CHEAPEST COST weight (a)->*(b)")
+        assert stmt.paths[0].selector.cost_property == "weight"
+
+    def test_cost_property_may_be_keyword(self):
+        stmt = parse_match("MATCH ANY CHEAPEST COST cost (a)->*(b)")
+        assert stmt.paths[0].selector.cost_property == "cost"
+
+    @pytest.mark.parametrize("restrictor", ["TRAIL", "ACYCLIC", "SIMPLE"])
+    def test_restrictors(self, restrictor):
+        stmt = parse_match(f"MATCH {restrictor} (a)->*(b)")
+        assert stmt.paths[0].restrictor == restrictor
+
+    def test_selector_and_restrictor_combined(self):
+        stmt = parse_match("MATCH ALL SHORTEST TRAIL p = (a)->*(b)")
+        path = stmt.paths[0]
+        assert path.selector.kind == "ALL_SHORTEST"
+        assert path.restrictor == "TRAIL"
+        assert path.path_var == "p"
+
+    def test_restrictor_in_paren(self):
+        stmt = parse_match("MATCH [TRAIL (a)->*(b)]")
+        paren = stmt.paths[0].pattern
+        assert isinstance(paren, ast.ParenPattern)
+        assert paren.restrictor == "TRAIL"
+
+
+class TestGraphPatterns:
+    def test_comma_separated_paths(self):
+        stmt = parse_match("MATCH (a)->(b), (b)->(c), (c)~(d)")
+        assert len(stmt.paths) == 3
+
+    def test_final_where(self):
+        stmt = parse_match("MATCH (a)->(b) WHERE a.x = b.y")
+        assert stmt.where is not None
+
+    def test_pgql_style_repeated_match(self):
+        stmt = parse_match("MATCH (a)->(b), MATCH (b)->(c)")
+        assert len(stmt.paths) == 2
+
+    def test_union_precedence(self):
+        stmt = parse_match("MATCH (a)->(b) | (c)->(d)")
+        alt = stmt.paths[0].pattern
+        assert isinstance(alt, ast.Alternation)
+        assert len(alt.branches) == 2
+        assert all(isinstance(b, ast.Concatenation) for b in alt.branches)
+
+    def test_mixed_union_operators(self):
+        alt = parse_match("MATCH (a) | (b) |+| (c)").paths[0].pattern
+        assert alt.operators == ["|", "|+|"]
+        assert alt.has_multiset()
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(GpmlSyntaxError):
+            parse_match("MATCH (a) garbage")
+
+
+class TestExpressionParsing:
+    def test_precedence(self):
+        expr = parse_expression("1 + 2 * 3 = 7 AND NOT FALSE")
+        assert isinstance(expr, E.And)
+
+    def test_comparison_chain_is_not_allowed(self):
+        with pytest.raises(GpmlSyntaxError):
+            parse_expression("1 < 2 < 3")
+
+    def test_is_predicates(self):
+        assert isinstance(parse_expression("x.a IS NULL"), E.IsNull)
+        assert isinstance(parse_expression("x.a IS NOT NULL"), E.IsNull)
+        assert isinstance(parse_expression("e IS DIRECTED"), E.IsDirected)
+        assert isinstance(parse_expression("s IS SOURCE OF e"), E.IsSourceOf)
+        assert isinstance(parse_expression("d IS NOT DESTINATION OF e"), E.IsDestinationOf)
+
+    def test_aggregates(self):
+        agg = parse_expression("SUM(t.amount)")
+        assert isinstance(agg, E.Aggregate)
+        assert (agg.func, agg.var, agg.prop) == ("SUM", "t", "amount")
+        star = parse_expression("COUNT(e.*)")
+        assert star.prop is None
+        distinct = parse_expression("COUNT(DISTINCT e)")
+        assert distinct.distinct
+
+    def test_listagg_separator(self):
+        agg = parse_expression("LISTAGG(e.ID, '; ')")
+        assert agg.separator == "; "
+
+    def test_same_and_all_different(self):
+        same = parse_expression("SAME(p, q, r)")
+        assert isinstance(same, E.Same) and same.vars == ("p", "q", "r")
+        diff = parse_expression("ALL_DIFFERENT(p, q)")
+        assert isinstance(diff, E.AllDifferent)
+
+    def test_property_name_may_be_keyword(self):
+        expr = parse_expression("x.cost > 1")
+        assert "x.cost" in str(expr)
+
+    def test_function_call(self):
+        expr = parse_expression("length(p) + abs(0 - 2)")
+        assert "length(p)" in str(expr)
+
+    def test_magnitude_literal(self):
+        expr = parse_expression("t.amount > 5M")
+        assert "5000000" in str(expr)
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "MATCH (x:Account WHERE x.isBlocked = 'no')",
+            "MATCH (a)<-[e:Transfer]-(b)",
+            "MATCH (a) -[:Transfer]->{2,5} (b)",
+            "MATCH TRAIL p = (a) -[t:Transfer]->* (b)",
+            "MATCH ALL SHORTEST TRAIL p = (a) ->* (b) ->* (c)",
+            "MATCH (c:City) |+| (c:Country)",
+            "MATCH (x) [->(y)]?",
+            "MATCH (x:Account|IP)",
+            "MATCH (:!%)",
+            "MATCH (x)-[e]-(y) WHERE (e IS DIRECTED AND x IS SOURCE OF e)",
+            "MATCH SHORTEST 3 GROUP (a) ->* (b)",
+            "MATCH [TRAIL (x) -[e]->* (y) WHERE COUNT(e) > 1]",
+        ],
+    )
+    def test_round_trip(self, query):
+        roundtrip(query)
+
+    def test_path_pattern_entry_point(self):
+        path = parse_path_pattern("TRAIL p = (a)->*(b)")
+        assert path.restrictor == "TRAIL"
+        assert path.path_var == "p"

@@ -1,0 +1,97 @@
+"""The Section 6 reference engine: unit behaviour + differential tests."""
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.gpml import match
+from repro.gpml.reference import ReferenceConfig, reference_match
+
+
+def canon(result):
+    rows = []
+    for row in result.rows:
+        values = tuple(sorted((k, repr(v)) for k, v in row.values.items()))
+        paths = tuple(str(p) for p in row.paths)
+        rows.append((values, paths))
+    return sorted(rows)
+
+
+DIFFERENTIAL_QUERIES = [
+    "MATCH (x:Account WHERE x.isBlocked='no')",
+    "MATCH (x)-[e]->(y)",
+    "MATCH (x)~[e]~(y)",
+    "MATCH (x)-[e]-(y)",
+    "MATCH (s)-[e]->(m)-[f]->(t)",
+    "MATCH (s)-[:Transfer]->(s1)-[:Transfer]->(s2)-[:Transfer]->(s)",
+    "MATCH (p:Phone)~[:hasPhone]~(s:Account)-[t:Transfer]->(d:Account)~[:hasPhone]~(p)",
+    "MATCH (a:Account)-[:Transfer]->{2,3}(b:Account)",
+    "MATCH TRAIL p = (a WHERE a.owner='Dave')-[t:Transfer]->*(b WHERE b.owner='Aretha')",
+    "MATCH ACYCLIC p = (a WHERE a.owner='Dave')-[t:Transfer]->*(b)",
+    "MATCH (c:City) | (c:Country)",
+    "MATCH (c:City) |+| (c:Country)",
+    "MATCH (x) [->(y)]?",
+    "MATCH (x:Account) [-[t:Transfer]->(y) WHERE t.amount > 8M]?",
+    "MATCH (a)-[e:Transfer]->(b), (b)-[f:isLocatedIn]->(c)",
+    "MATCH (x)-[e]-(y) WHERE e IS DIRECTED AND x IS SOURCE OF e",
+    "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ (a)"
+    " [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]",
+]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("query", DIFFERENTIAL_QUERIES)
+    def test_reference_equals_automaton_on_figure1(self, fig1, query):
+        production = match(fig1, query)
+        reference = reference_match(fig1, query, ReferenceConfig(max_unroll=8))
+        assert canon(production) == canon(reference)
+
+    def test_selector_queries_agree_with_adequate_unroll(self, fig1):
+        query = (
+            "MATCH ALL SHORTEST p = (a WHERE a.owner='Dave')"
+            "-[t:Transfer]->*(b WHERE b.owner='Aretha')"
+        )
+        production = match(fig1, query)
+        reference = reference_match(fig1, query, ReferenceConfig(max_unroll=8))
+        assert canon(production) == canon(reference)
+
+    def test_differential_on_synthetic_graphs(self):
+        from repro.datasets import random_transfer_network
+
+        graph = random_transfer_network(6, 10, seed=11)
+        for query in [
+            "MATCH (x:Account)-[t:Transfer]->(y)",
+            "MATCH TRAIL p = (a:Account)-[t:Transfer]->{1,3}(b)",
+            "MATCH (p:Phone)~[:hasPhone]~(a:Account)",
+        ]:
+            assert canon(match(graph, query)) == canon(
+                reference_match(graph, query, ReferenceConfig(max_unroll=4))
+            )
+
+
+class TestExpansionMechanics:
+    def test_unroll_bound_controls_expansion(self, fig1):
+        query = "MATCH TRAIL (a WHERE a.owner='Jay') [-[b:Transfer WHERE b.amount>5M]->]+ (a)"
+        # the n=7 match needs max_unroll >= 7
+        short = reference_match(fig1, query, ReferenceConfig(max_unroll=4))
+        full = reference_match(fig1, query, ReferenceConfig(max_unroll=7))
+        assert len(short) == 1
+        assert len(full) == 2
+
+    def test_budget_guard(self, fig1):
+        with pytest.raises(BudgetExceededError):
+            reference_match(
+                fig1,
+                "MATCH TRAIL (a)-[e:Transfer]->*(b)",
+                ReferenceConfig(max_unroll=30, max_rigid_patterns=10),
+            )
+
+    def test_paper_rigid_pattern_counts(self, fig1):
+        # Section 6.4: only n = 4 and n = 7 have matches.
+        query = (
+            "MATCH TRAIL (a WHERE a.owner='Jay')"
+            " [-[b:Transfer WHERE b.amount>5M]->]+ (a)"
+            " [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]"
+        )
+        result = reference_match(fig1, query, ReferenceConfig(max_unroll=9))
+        lengths = sorted(row.paths[0].length for row in result.rows)
+        assert lengths == [5, 8]  # 4+1 and 7+1 edges (loop + isLocatedIn)

@@ -1,0 +1,71 @@
+"""MatchResult / BindingRow public API."""
+
+import pytest
+
+from repro.gpml import match
+from repro.gpml.engine import BindingRow
+from repro.values import NULL, is_null
+
+
+class TestMatchResult:
+    def test_iteration_and_len(self, fig1):
+        result = match(fig1, "MATCH (c:Country)")
+        assert len(result) == 2
+        assert len(list(result)) == 2
+        assert bool(result)
+
+    def test_empty_result_falsy(self, fig1):
+        assert not match(fig1, "MATCH (c:Country WHERE c.name='Nowhere')")
+
+    def test_column_and_ids(self, fig1):
+        result = match(fig1, "MATCH (c:Country)")
+        assert sorted(node.id for node in result.column("c")) == ["c1", "c2"]
+        assert sorted(result.ids("c")) == ["c1", "c2"]
+
+    def test_ids_on_group_variable(self, fig1):
+        result = match(fig1, "MATCH (a WHERE a.owner='Scott')-[e:Transfer]->{2,2}(b)")
+        for ids in result.ids("e"):
+            assert isinstance(ids, list) and len(ids) == 2
+
+    def test_to_dicts_includes_paths_for_path_vars(self, fig1):
+        result = match(fig1, "MATCH p = (c:City)")
+        assert result.to_dicts() == [{"c": "c2", "p": "path(c2)"}]
+
+    def test_distinct_dicts(self, fig1):
+        result = match(fig1, "MATCH (a:Account)-[:Transfer]->(b)")
+        projected = match(fig1, "MATCH (a:Account)-[:Transfer]->()")
+        assert len(projected.to_dicts()) == 8
+        assert len(projected.distinct_dicts()) <= 8
+
+    def test_paths_accessor(self, fig1):
+        result = match(fig1, "MATCH (c:City), (i:IP)")
+        assert all(p.length == 0 for p in result.paths(0))
+        assert all(p.length == 0 for p in result.paths(1))
+
+    def test_repr(self, fig1):
+        text = repr(match(fig1, "MATCH (c:City)"))
+        assert "1 rows" in text and "'c'" in text
+
+
+class TestBindingRow:
+    def test_getitem_defaults_to_null(self, fig1):
+        row = match(fig1, "MATCH (c:City)").rows[0]
+        assert is_null(row["missing"])
+        assert row.get("missing", "fallback") == "fallback"
+        assert "c" in row and "missing" not in row
+
+    def test_repr_sorted(self):
+        row = BindingRow({"b": 1, "a": 2}, [])
+        assert repr(row).index("a=") < repr(row).index("b=")
+
+
+class TestVariableOrdering:
+    def test_variables_listed_in_declaration_order(self, fig1):
+        result = match(fig1, "MATCH q = (z)-[e]->(a), (a)~(m)")
+        # per-path sorted visible vars, then path vars
+        assert result.variables == ["a", "e", "z", "m", "q"]
+
+    def test_no_anonymous_variables_leak(self, fig1):
+        result = match(fig1, "MATCH ()-[e:Transfer]->()")
+        assert result.variables == ["e"]
+        assert all(set(row.values) == {"e"} for row in result.rows)

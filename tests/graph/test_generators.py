@@ -1,0 +1,95 @@
+"""Unit tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.datasets import (
+    chain_graph,
+    clique_transfer_graph,
+    cycle_graph,
+    diamond_chain,
+    grid_graph,
+    random_transfer_network,
+)
+from repro.gpml import match
+
+
+class TestShapes:
+    def test_chain(self):
+        g = chain_graph(5)
+        assert g.num_nodes == 6
+        assert g.num_edges == 5
+        # exactly one maximal directed walk
+        result = match(g, "MATCH (a WHERE a.index = 0)->{5,5}(b)")
+        assert len(result) == 1
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert g.num_nodes == 4 and g.num_edges == 4
+        # every node lies on exactly one directed 4-cycle
+        result = match(g, "MATCH (a)->{4,4}(b) WHERE SAME(a, b)")
+        assert len(result) == 4
+
+    def test_cycle_validates(self):
+        with pytest.raises(ValueError):
+            cycle_graph(0)
+
+    def test_diamond_chain_has_2_to_k_shortest_paths(self):
+        k = 4
+        g = diamond_chain(k)
+        result = match(
+            g,
+            f"MATCH ALL SHORTEST p = (a WHERE a.index IS NULL AND SAME(a,a))->*(b)",
+        )
+        # count source-to-sink paths among all partitions
+        paths = [p for p in result.paths() if p.source_id == "s0" and p.target_id == f"s{k}"]
+        assert len(paths) == 2**k
+        assert all(p.length == 2 * k for p in paths)
+
+    def test_grid(self):
+        g = grid_graph(3, 3)
+        assert g.num_nodes == 9
+        assert g.num_edges == 12  # 2 * 3*2
+        # lattice paths corner to corner: C(4,2) = 6
+        result = match(
+            g,
+            "MATCH ALL SHORTEST p = (a WHERE a.x=0 AND a.y=0)->*(b WHERE b.x=2 AND b.y=2)",
+        )
+        assert len(result) == 6
+
+    def test_clique(self):
+        g = clique_transfer_graph(4)
+        assert g.num_nodes == 4
+        assert g.num_edges == 12
+
+
+class TestRandomNetwork:
+    def test_deterministic_by_seed(self):
+        a = random_transfer_network(20, 40, seed=7)
+        b = random_transfer_network(20, 40, seed=7)
+        from repro.graph import graph_to_dict
+
+        assert graph_to_dict(a) == graph_to_dict(b)
+
+    def test_different_seeds_differ(self):
+        from repro.graph import graph_to_dict
+
+        a = random_transfer_network(20, 40, seed=1)
+        b = random_transfer_network(20, 40, seed=2)
+        assert graph_to_dict(a) != graph_to_dict(b)
+
+    def test_schema_matches_figure1(self):
+        g = random_transfer_network(10, 20, seed=3)
+        # the paper's queries run unchanged on the synthetic schema
+        result = match(g, "MATCH (x:Account WHERE x.isBlocked='no')")
+        assert len(result) > 0
+        result = match(g, "MATCH (a:Account)-[:isLocatedIn]->(c:City)")
+        assert len(result) == 10
+        result = match(g, "MATCH (p:Phone)~[:hasPhone]~(a:Account)")
+        assert len(result) == 10
+
+    def test_sizes(self):
+        g = random_transfer_network(10, 25, seed=0, num_cities=2)
+        accounts = len(list(g.nodes_with_label("Account")))
+        transfers = len(list(g.edges_with_label("Transfer")))
+        assert accounts == 10
+        assert transfers == 25

@@ -1,0 +1,207 @@
+"""Unit tests for the property-graph data model (Definition 2.1)."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import GraphBuilder, PropertyGraph
+from repro.graph.model import IN, OUT, UNDIRECTED
+from repro.values import NULL, is_null
+
+
+@pytest.fixture()
+def small():
+    g = PropertyGraph("small")
+    g.add_node("a", labels=["Account"], properties={"owner": "Ada"})
+    g.add_node("b", labels=["Account", "Vip"])
+    g.add_node("c")
+    g.add_edge("t", "a", "b", labels=["Transfer"], properties={"amount": 5})
+    g.add_edge("u", "b", "c", directed=False, labels=["Knows"])
+    return g
+
+
+class TestConstruction:
+    def test_counts(self, small):
+        assert small.num_nodes == 3
+        assert small.num_edges == 2
+
+    def test_duplicate_node_id_rejected(self, small):
+        with pytest.raises(GraphError):
+            small.add_node("a")
+
+    def test_node_edge_id_spaces_are_disjoint(self, small):
+        # Definition 2.1: N and E are disjoint.
+        with pytest.raises(GraphError):
+            small.add_node("t")
+        with pytest.raises(GraphError):
+            small.add_edge("a", "a", "b")
+
+    def test_edge_requires_existing_endpoints(self, small):
+        with pytest.raises(GraphError):
+            small.add_edge("x", "a", "zzz")
+
+    def test_auto_ids_are_fresh(self):
+        g = PropertyGraph()
+        n1 = g.add_node()
+        n2 = g.add_node()
+        assert n1.id != n2.id
+
+    def test_multigraph_allowed(self, small):
+        # Two distinct edges between the same endpoints (Section 2).
+        small.add_edge("t2", "a", "b", labels=["Transfer"])
+        assert small.num_edges == 3
+
+    def test_self_loops_allowed(self, small):
+        loop = small.add_edge("loop", "a", "a")
+        assert loop.is_self_loop
+        undirected_loop = small.add_edge("uloop", "a", "a", directed=False)
+        assert undirected_loop.is_self_loop
+
+
+class TestLabelsAndProperties:
+    def test_labels(self, small):
+        assert small.node("b").labels == frozenset({"Account", "Vip"})
+        assert small.node("c").labels == frozenset()
+        assert small.edge("t").has_label("Transfer")
+
+    def test_missing_property_is_null(self, small):
+        assert is_null(small.node("a").get("nope"))
+        assert small.node("a")["owner"] == "Ada"
+
+    def test_set_property(self, small):
+        small.set_property("a", "owner", "Grace")
+        assert small.node("a")["owner"] == "Grace"
+
+    def test_label_index(self, small):
+        assert [n.id for n in small.nodes_with_label("Account")] == ["a", "b"]
+        assert [e.id for e in small.edges_with_label("Transfer")] == ["t"]
+        assert small.nodes_with_label("Nope") == []
+
+    def test_all_labels(self, small):
+        assert small.all_labels() == {"Account", "Vip", "Transfer", "Knows"}
+
+
+class TestEdges:
+    def test_directed_endpoints(self, small):
+        t = small.edge("t")
+        assert t.is_directed
+        assert t.source.id == "a"
+        assert t.target.id == "b"
+        assert t.endpoint_ids == ("a", "b")
+
+    def test_undirected_has_no_source(self, small):
+        u = small.edge("u")
+        assert not u.is_directed
+        assert u.source is None
+        assert u.target is None
+
+    def test_connects_either_role(self, small):
+        assert small.edge("t").connects("a", "b")
+        assert small.edge("t").connects("b", "a")
+        assert not small.edge("t").connects("a", "c")
+
+    def test_other_id(self, small):
+        assert small.edge("t").other_id("a") == "b"
+        assert small.edge("t").other_id("b") == "a"
+        with pytest.raises(GraphError):
+            small.edge("t").other_id("c")
+
+
+class TestIncidences:
+    def test_directed_incidences(self, small):
+        directions = {(i.edge, i.direction) for i in small.incidences("a")}
+        assert ("t", OUT) in directions
+        directions_b = {(i.edge, i.direction) for i in small.incidences("b")}
+        assert ("t", IN) in directions_b
+        assert ("u", UNDIRECTED) in directions_b
+
+    def test_undirected_incidence_both_sides(self, small):
+        assert any(i.edge == "u" for i in small.incidences("c"))
+
+    def test_directed_self_loop_gives_out_and_in(self):
+        g = PropertyGraph()
+        g.add_node("a")
+        g.add_edge("loop", "a", "a")
+        directions = sorted(i.direction for i in g.incidences("a"))
+        assert directions == [IN, OUT]
+
+    def test_undirected_self_loop_single_incidence(self):
+        g = PropertyGraph()
+        g.add_node("a")
+        g.add_edge("loop", "a", "a", directed=False)
+        assert len(g.incidences("a")) == 1
+
+
+class TestRemoval:
+    def test_remove_edge(self, small):
+        small.remove_edge("t")
+        assert not small.has_edge("t")
+        assert all(i.edge != "t" for i in small.incidences("a"))
+
+    def test_remove_node_cascades(self, small):
+        small.remove_node("b")
+        assert not small.has_node("b")
+        assert not small.has_edge("t")
+        assert not small.has_edge("u")
+
+    def test_remove_unknown(self, small):
+        with pytest.raises(GraphError):
+            small.remove_edge("zzz")
+        with pytest.raises(GraphError):
+            small.remove_node("zzz")
+
+
+class TestHandles:
+    def test_equality_by_graph_and_id(self, small):
+        assert small.node("a") == small.node("a")
+        assert small.node("a") != small.node("b")
+        other = PropertyGraph()
+        other.add_node("a")
+        assert small.node("a") != other.node("a")
+
+    def test_hashable(self, small):
+        assert len({small.node("a"), small.node("a"), small.node("b")}) == 2
+
+    def test_element_lookup(self, small):
+        from repro.graph.model import Edge, Node
+
+        assert isinstance(small.element("a"), Node)
+        assert isinstance(small.element("t"), Edge)
+        with pytest.raises(GraphError):
+            small.element("zzz")
+
+    def test_contains(self, small):
+        assert "a" in small
+        assert "t" in small
+        assert "zzz" not in small
+
+
+class TestLabelIndexedIncidences:
+    def test_filtering(self, small):
+        labelled = small._graph if hasattr(small, "_graph") else small
+        incs = labelled.incidences_with_label("b", "Transfer")
+        assert [i.edge for i in incs] == ["t"]
+        assert labelled.incidences_with_label("b", "Nope") == []
+
+    def test_cache_invalidated_on_add(self, small):
+        assert small.incidences_with_label("a", "Transfer")
+        small.add_edge("t9", "a", "c", labels=["Transfer"])
+        assert len(small.incidences_with_label("a", "Transfer")) == 2
+
+    def test_cache_invalidated_on_remove(self, small):
+        assert small.incidences_with_label("a", "Transfer")
+        small.remove_edge("t")
+        assert small.incidences_with_label("a", "Transfer") == []
+
+    def test_consistent_with_full_scan(self, small):
+        for node_id in small.node_ids():
+            for label in ("Transfer", "Knows"):
+                indexed = small.incidences_with_label(node_id, label)
+                scanned = [
+                    i for i in small.incidences(node_id)
+                    if small.edge(i.edge).has_label(label)
+                ]
+                assert indexed == scanned
+
+    def test_unknown_node(self, small):
+        with pytest.raises(GraphError):
+            small.incidences_with_label("zzz", "Transfer")

@@ -1,0 +1,131 @@
+"""Unit tests for paths (walks), including the paper's examples."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.graph import Path
+
+
+class TestConstruction:
+    def test_single_node_path(self, fig1):
+        p = Path.single_node(fig1, "a1")
+        assert p.length == 0
+        assert p.source_id == p.target_id == "a1"
+
+    def test_paper_example_path(self, fig1):
+        # path(c1,li1,a1,t1,a3,hp3,p2): li1 traversed in reverse, t1
+        # forward, hp3 undirected (Section 2).
+        p = Path(fig1, ["c1", "a1", "a3", "p2"], ["li1", "t1", "hp3"])
+        assert p.length == 3
+        assert str(p) == "path(c1,li1,a1,t1,a3,hp3,p2)"
+
+    def test_arity_mismatch(self, fig1):
+        with pytest.raises(PathError):
+            Path(fig1, ["a1", "a3"], [])
+
+    def test_disconnected_edge_rejected(self, fig1):
+        with pytest.raises(PathError):
+            Path(fig1, ["a1", "a2"], ["t1"])  # t1 connects a1 and a3
+
+    def test_unknown_elements_rejected(self, fig1):
+        with pytest.raises(PathError):
+            Path(fig1, ["zzz"], [])
+        with pytest.raises(PathError):
+            Path(fig1, ["a1", "a3"], ["zzz"])
+
+    def test_empty_path_rejected(self, fig1):
+        with pytest.raises(PathError):
+            Path(fig1, [], [])
+
+    def test_from_element_ids(self, fig1):
+        p = Path.from_element_ids(fig1, ("a6", "t5", "a3", "t2", "a2"))
+        assert p.node_ids == ("a6", "a3", "a2")
+        assert p.edge_ids == ("t5", "t2")
+        with pytest.raises(PathError):
+            Path.from_element_ids(fig1, ("a6", "t5"))
+
+
+class TestRestrictorPredicates:
+    def test_trail_and_acyclic(self, fig1):
+        # The paper's third TRAIL result repeats node a3 but no edge.
+        p = Path.from_element_ids(
+            fig1, ("a6", "t5", "a3", "t7", "a5", "t8", "a1", "t1", "a3", "t2", "a2")
+        )
+        assert p.is_trail()
+        assert not p.is_acyclic()
+        assert not p.is_simple()
+
+    def test_non_trail(self, fig1):
+        # Traverses the t4/t5/t2/t3 cycle twice (Section 5.1).
+        p = Path.from_element_ids(
+            fig1,
+            ("a6", "t5", "a3", "t2", "a2", "t3", "a4", "t4",
+             "a6", "t5", "a3", "t2", "a2"),
+        )
+        assert not p.is_trail()
+
+    def test_simple_allows_closing_cycle(self, fig1):
+        p = Path.from_element_ids(
+            fig1, ("a3", "t7", "a5", "t8", "a1", "t1", "a3")
+        )
+        assert p.is_simple()
+        assert not p.is_acyclic()
+        assert p.is_trail()
+
+    def test_zero_length_is_everything(self, fig1):
+        p = Path.single_node(fig1, "a1")
+        assert p.is_trail() and p.is_acyclic() and p.is_simple()
+
+
+class TestOperations:
+    def test_concat(self, fig1):
+        p1 = Path.from_element_ids(fig1, ("a6", "t5", "a3"))
+        p2 = Path.from_element_ids(fig1, ("a3", "t2", "a2"))
+        joined = p1.concat(p2)
+        assert joined.element_ids == ("a6", "t5", "a3", "t2", "a2")
+
+    def test_concat_requires_shared_endpoint(self, fig1):
+        p1 = Path.from_element_ids(fig1, ("a6", "t5", "a3"))
+        p2 = Path.from_element_ids(fig1, ("a2", "t3", "a4"))
+        with pytest.raises(PathError):
+            p1.concat(p2)
+
+    def test_reverse(self, fig1):
+        p = Path.from_element_ids(fig1, ("a6", "t5", "a3", "t2", "a2"))
+        assert p.reverse().element_ids == ("a2", "t2", "a3", "t5", "a6")
+        assert p.reverse().reverse() == p
+
+    def test_prefix(self, fig1):
+        p = Path.from_element_ids(fig1, ("a6", "t5", "a3", "t2", "a2"))
+        assert p.prefix(1).element_ids == ("a6", "t5", "a3")
+        assert p.prefix(0).length == 0
+        with pytest.raises(PathError):
+            p.prefix(3)
+
+    def test_cost(self, fig1):
+        p = Path.from_element_ids(fig1, ("a6", "t5", "a3", "t2", "a2"))
+        assert p.cost("amount") == 20_000_000
+        assert p.cost("nonexistent", default=2.0) == 4.0
+
+    def test_equality_and_hash(self, fig1):
+        p1 = Path.from_element_ids(fig1, ("a6", "t5", "a3"))
+        p2 = Path.from_element_ids(fig1, ("a6", "t5", "a3"))
+        assert p1 == p2
+        assert hash(p1) == hash(p2)
+        assert p1 != Path.from_element_ids(fig1, ("a3", "t2", "a2"))
+
+    def test_ordering_by_length_then_ids(self, fig1):
+        short = Path.from_element_ids(fig1, ("a6", "t5", "a3"))
+        long = Path.from_element_ids(fig1, ("a6", "t5", "a3", "t2", "a2"))
+        assert short < long
+
+    def test_iteration_and_len(self, fig1):
+        p = Path.from_element_ids(fig1, ("a6", "t5", "a3"))
+        assert list(p) == ["a6", "t5", "a3"]
+        assert len(p) == 1
+
+    def test_nodes_edges_handles(self, fig1):
+        p = Path.from_element_ids(fig1, ("a6", "t5", "a3"))
+        assert [n.id for n in p.nodes] == ["a6", "a3"]
+        assert [e.id for e in p.edges] == ["t5"]
+        assert p.source.id == "a6" and p.target.id == "a3"

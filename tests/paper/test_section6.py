@@ -1,0 +1,123 @@
+"""Section 6: the worked execution-model example, stage by stage."""
+
+import pytest
+
+from repro.gpml import ast, match
+from repro.gpml.analysis import analyze
+from repro.gpml.normalize import normalize_graph_pattern
+from repro.gpml.parser import parse_match
+from repro.gpml.reference import ReferenceConfig, reference_match
+
+RUNNING_QUERY = (
+    "MATCH TRAIL (a WHERE a.owner='Jay')"
+    " [-[b:Transfer WHERE b.amount>5M]->]+"
+    " (a) [-[:isLocatedIn]->(c:City) | -[:isLocatedIn]->(c:Country)]"
+)
+
+
+class TestNormalizationStage:
+    def test_quantified_edge_gets_anonymous_nodes(self):
+        normalized = normalize_graph_pattern(parse_match(RUNNING_QUERY))
+        quant = next(
+            p
+            for p in normalized.paths[0].pattern.walk()
+            if isinstance(p, ast.Quantified)
+        )
+        assert (quant.lower, quant.upper) == (1, None)  # + became {1,}
+        leaves = [
+            p
+            for p in quant.inner.walk()
+            if isinstance(p, (ast.NodePattern, ast.EdgePattern))
+        ]
+        assert [type(l).__name__ for l in leaves] == [
+            "NodePattern", "EdgePattern", "NodePattern",
+        ]
+        assert leaves[0].anonymous and leaves[2].anonymous
+        assert leaves[1].var == "b"
+
+    def test_variable_classification(self):
+        normalized = normalize_graph_pattern(parse_match(RUNNING_QUERY))
+        analysis = analyze(normalized)
+        vars_ = analysis.paths[0].vars
+        assert vars_["b"].group          # under the + quantifier
+        assert not vars_["a"].group      # singleton, joined on reuse
+        assert not vars_["c"].conditional  # bound in both union branches
+
+
+class TestFinalResult:
+    def test_two_reduced_bindings(self, fig1):
+        result = match(fig1, RUNNING_QUERY)
+        assert len(result) == 2
+        paths = sorted(str(p) for p in result.paths())
+        assert paths == [
+            "path(a4,t4,a6,t5,a3,t2,a2,t3,a4,li4,c2)",
+            "path(a4,t4,a6,t5,a3,t7,a5,t8,a1,t1,a3,t2,a2,t3,a4,li4,c2)",
+        ]
+
+    def test_bindings_content(self, fig1):
+        result = match(fig1, RUNNING_QUERY)
+        short = next(row for row in result if row.paths[0].length == 5)
+        assert short["a"].id == "a4"
+        assert short["c"].id == "c2"
+        assert [e.id for e in short["b"]] == ["t4", "t5", "t2", "t3"]
+        long = next(row for row in result if row.paths[0].length == 8)
+        assert [e.id for e in long["b"]] == [
+            "t4", "t5", "t7", "t8", "t1", "t2", "t3",
+        ]
+
+    def test_t6_and_sip_edges_never_appear(self, fig1):
+        # Section 6.4: (a6,t6,a5) fails the WHERE; (ip1,sip1,a1) has the
+        # wrong label — neither may appear in any path binding.
+        result = match(fig1, RUNNING_QUERY)
+        for path in result.paths():
+            assert "t6" not in path.edge_ids
+            assert "sip1" not in path.edge_ids
+
+    def test_trail_excludes_n8(self, fig1):
+        # "π(8, City) has no match ... would use the loop twice"
+        result = match(fig1, RUNNING_QUERY)
+        assert sorted(p.length - 1 for p in result.paths()) == [4, 7]
+
+    def test_equivalent_label_disjunction_form(self, fig1):
+        # Section 6.5: the union form equals the City|Country label form.
+        union = match(fig1, RUNNING_QUERY)
+        disjunction = match(
+            fig1,
+            "MATCH TRAIL (a WHERE a.owner='Jay')"
+            " [-[b:Transfer WHERE b.amount>5M]->]+"
+            " (a)-[:isLocatedIn]->(c:City|Country)",
+        )
+        assert sorted(str(p) for p in union.paths()) == sorted(
+            str(p) for p in disjunction.paths()
+        )
+
+
+class TestSelectorsAndAlternation:
+    def test_all_shortest_variant(self, fig1):
+        # replacing TRAIL with ALL SHORTEST keeps one shortest binding
+        result = match(
+            fig1,
+            RUNNING_QUERY.replace("MATCH TRAIL", "MATCH ALL SHORTEST"),
+        )
+        assert [str(p) for p in result.paths()] == [
+            "path(a4,t4,a6,t5,a3,t2,a2,t3,a4,li4,c2)"
+        ]
+
+    def test_multiset_alternation_keeps_four(self, fig1):
+        result = match(fig1, RUNNING_QUERY.replace("|", "|+|"))
+        assert len(result) == 4
+
+
+class TestReferencePipelineAgreement:
+    def test_reference_engine_reproduces_section6(self, fig1):
+        production = match(fig1, RUNNING_QUERY)
+        reference = reference_match(fig1, RUNNING_QUERY, ReferenceConfig(max_unroll=8))
+        assert sorted(str(p) for p in production.paths()) == sorted(
+            str(p) for p in reference.paths()
+        )
+
+    def test_reference_multiset_agreement(self, fig1):
+        query = RUNNING_QUERY.replace("|", "|+|")
+        production = match(fig1, query)
+        reference = reference_match(fig1, query, ReferenceConfig(max_unroll=8))
+        assert len(production) == len(reference) == 4

@@ -1,0 +1,142 @@
+"""Unit tests for the mini relational engine."""
+
+import pytest
+
+from repro.errors import TableError
+from repro.pgq import Table
+from repro.values import NULL, is_null
+
+
+@pytest.fixture()
+def accounts():
+    return Table(
+        ["ID", "owner", "amount"],
+        [
+            ("a1", "Scott", 8),
+            ("a2", "Aretha", 10),
+            ("a3", "Mike", NULL),
+            ("a4", "Jay", 4),
+        ],
+        name="accounts",
+    )
+
+
+class TestConstruction:
+    def test_arity_checked(self):
+        with pytest.raises(TableError):
+            Table(["a", "b"], [(1,)])
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(TableError):
+            Table(["a", "a"])
+
+    def test_from_dicts_fills_null(self):
+        t = Table.from_dicts(["a", "b"], [{"a": 1}])
+        assert is_null(t.rows[0][1])
+
+    def test_to_dicts_round_trip(self, accounts):
+        again = Table.from_dicts(accounts.columns, accounts.to_dicts())
+        assert again == accounts
+
+
+class TestOperators:
+    def test_select_callable(self, accounts):
+        kept = accounts.select(lambda r: r["owner"].startswith("S"))
+        assert len(kept) == 1
+
+    def test_where_condition_string(self, accounts):
+        kept = accounts.where("amount > 5")
+        assert sorted(d["ID"] for d in kept.to_dicts()) == ["a1", "a2"]
+
+    def test_where_three_valued(self, accounts):
+        # NULL amount row is dropped by both a condition and its negation
+        assert len(accounts.where("amount > 5")) + len(
+            accounts.where("NOT (amount > 5)")
+        ) == 3
+
+    def test_project_and_rename(self, accounts):
+        t = accounts.project(["owner"]).rename({"owner": "name"})
+        assert t.columns == ("name",)
+        with pytest.raises(TableError):
+            accounts.project(["nope"])
+
+    def test_extend(self, accounts):
+        t = accounts.extend("double", lambda r: None if is_null(r["amount"]) else r["amount"] * 2)
+        assert t.to_dicts()[0]["double"] == 16
+
+    def test_distinct(self):
+        t = Table(["x"], [(1,), (1,), (2,)])
+        assert len(t.distinct()) == 2
+
+    def test_union_all_and_union(self):
+        t1 = Table(["x"], [(1,), (2,)])
+        t2 = Table(["x"], [(2,), (3,)])
+        assert len(t1.union_all(t2)) == 4
+        assert len(t1.union(t2)) == 3
+        with pytest.raises(TableError):
+            t1.union_all(Table(["y"], [(1,)]))
+
+    def test_join(self, accounts):
+        cities = Table(["AID", "city"], [("a1", "Z"), ("a2", "AM"), ("a9", "X")])
+        joined = accounts.join(cities, on=[("ID", "AID")])
+        assert len(joined) == 2
+        assert set(joined.columns) == {"ID", "owner", "amount", "city"}
+
+    def test_join_nulls_never_match(self):
+        left = Table(["k"], [(NULL,), (1,)])
+        right = Table(["k2"], [(NULL,), (1,)])
+        assert len(left.join(right, on=[("k", "k2")])) == 1
+
+    def test_order_by_with_nulls_last(self, accounts):
+        ordered = accounts.order_by(["amount"])
+        assert [d["ID"] for d in ordered.to_dicts()] == ["a4", "a1", "a2", "a3"]
+
+    def test_order_by_descending(self, accounts):
+        ordered = accounts.order_by(["owner"], descending=True)
+        assert ordered.to_dicts()[0]["owner"] == "Scott"
+
+    def test_limit_offset(self, accounts):
+        assert len(accounts.limit(2)) == 2
+        assert accounts.limit(2, offset=3).to_dicts()[0]["ID"] == "a4"
+
+
+class TestGroupBy:
+    def test_aggregates(self):
+        t = Table(
+            ["grp", "v"],
+            [("a", 1), ("a", 3), ("b", 5), ("b", NULL)],
+        )
+        g = t.group_by(
+            ["grp"],
+            {
+                "n": ("COUNT", "*"),
+                "nv": ("COUNT", "v"),
+                "total": ("SUM", "v"),
+                "mean": ("AVG", "v"),
+                "low": ("MIN", "v"),
+                "high": ("MAX", "v"),
+            },
+        )
+        rows = {d["grp"]: d for d in g.to_dicts()}
+        assert rows["a"] == {"grp": "a", "n": 2, "nv": 2, "total": 4, "mean": 2.0, "low": 1, "high": 3}
+        assert rows["b"]["n"] == 2 and rows["b"]["nv"] == 1 and rows["b"]["total"] == 5
+
+    def test_sum_of_empty_group_is_null(self):
+        t = Table(["grp", "v"], [("a", NULL)])
+        g = t.group_by(["grp"], {"s": ("SUM", "v")})
+        assert is_null(g.to_dicts()[0]["s"])
+
+    def test_count_star_only(self):
+        t = Table(["grp"], [("a",)])
+        with pytest.raises(TableError):
+            t.group_by(["grp"], {"s": ("SUM", "*")})
+
+
+class TestDisplay:
+    def test_pretty(self, accounts):
+        text = accounts.pretty(max_rows=2)
+        assert "ID | owner | amount" in text
+        assert "more rows" in text
+
+    def test_repr(self, accounts):
+        assert "accounts" in repr(accounts)

@@ -1,0 +1,182 @@
+"""Property-based tests (hypothesis): core invariants of the engine.
+
+Random graphs and random pattern fragments exercise the invariants the
+paper states declaratively:
+
+* TRAIL results never repeat edges; ACYCLIC never repeats nodes; SIMPLE
+  only closes at its start (Figure 7),
+* ANY/ALL SHORTEST return minimal-length walks per endpoint partition,
+  and adding a selector never empties a non-empty result (Section 5.1),
+* path pattern union deduplicates; multiset alternation counts
+  multiplicities (Section 4.5),
+* reduction/deduplication is idempotent,
+* serialization round-trips.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import assume, given, settings
+
+from repro.errors import BudgetExceededError
+from repro.graph import GraphBuilder, graph_from_json, graph_to_dict, graph_to_json
+from repro.gpml import match as _match
+from repro.gpml import prepare
+from repro.gpml.matcher import MatcherConfig
+
+
+def match(graph, query, config=None):
+    """match() that discards hypothesis examples hitting safety budgets.
+
+    Dense random multigraphs can hold astronomically many (finite) trails;
+    the engine's budget guard is correct behaviour there, but tells us
+    nothing about the invariant under test.
+    """
+    try:
+        return _match(graph, query, config)
+    except BudgetExceededError:
+        assume(False)
+
+
+# ----------------------------------------------------------------------
+# Random graph strategy
+# ----------------------------------------------------------------------
+@st.composite
+def small_graphs(draw):
+    """Graphs with <= 6 nodes, <= 10 edges, 2 labels, 1 int property."""
+    num_nodes = draw(st.integers(min_value=1, max_value=6))
+    builder = GraphBuilder("random")
+    for i in range(num_nodes):
+        label = draw(st.sampled_from(["A", "B"]))
+        builder.node(f"n{i}", label, v=draw(st.integers(0, 3)))
+    num_edges = draw(st.integers(min_value=0, max_value=10))
+    for j in range(num_edges):
+        src = f"n{draw(st.integers(0, num_nodes - 1))}"
+        dst = f"n{draw(st.integers(0, num_nodes - 1))}"
+        label = draw(st.sampled_from(["E", "F"]))
+        if draw(st.booleans()):
+            builder.directed(f"e{j}", src, dst, label, w=draw(st.integers(0, 3)))
+        else:
+            builder.undirected(f"e{j}", src, dst, label, w=draw(st.integers(0, 3)))
+    return builder.build()
+
+
+CONFIG = MatcherConfig(max_steps=200_000, max_results=50_000)
+
+
+class TestRestrictorInvariants:
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_trail_never_repeats_edges(self, graph):
+        result = match(graph, "MATCH TRAIL p = (a)-[e]->*(b)", CONFIG)
+        for path in result.paths():
+            assert path.is_trail()
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_acyclic_never_repeats_nodes(self, graph):
+        result = match(graph, "MATCH ACYCLIC p = (a)-[e]->*(b)", CONFIG)
+        for path in result.paths():
+            assert path.is_acyclic()
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_simple_paths_are_simple(self, graph):
+        result = match(graph, "MATCH SIMPLE p = (a)-[e]->*(b)", CONFIG)
+        for path in result.paths():
+            assert path.is_simple()
+
+    @given(small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_acyclic_subset_of_simple_subset_of_trail_plus(self, graph):
+        # every acyclic walk is simple; every simple DIRECTED walk of
+        # length >= 1 repeats no edge, hence is a trail
+        acyclic = {str(p) for p in match(graph, "MATCH ACYCLIC p = (a)->*(b)", CONFIG).paths()}
+        simple = {str(p) for p in match(graph, "MATCH SIMPLE p = (a)->*(b)", CONFIG).paths()}
+        trail = {str(p) for p in match(graph, "MATCH TRAIL p = (a)->*(b)", CONFIG).paths()}
+        assert acyclic <= simple
+        assert simple <= trail
+
+
+class TestSelectorInvariants:
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_any_shortest_is_minimal_per_partition(self, graph):
+        shortest = match(graph, "MATCH ANY SHORTEST p = (a)-[e]->*(b)", CONFIG)
+        trails = match(graph, "MATCH TRAIL p = (a)-[e]->*(b)", CONFIG)
+        best: dict = {}
+        for path in trails.paths():
+            key = (path.source_id, path.target_id)
+            best[key] = min(best.get(key, path.length), path.length)
+        for path in shortest.paths():
+            key = (path.source_id, path.target_id)
+            assert path.length == best[key]
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_all_shortest_contains_any_shortest(self, graph):
+        any_s = {str(p) for p in match(graph, "MATCH ANY SHORTEST p = (a)->*(b)", CONFIG).paths()}
+        all_s = {str(p) for p in match(graph, "MATCH ALL SHORTEST p = (a)->*(b)", CONFIG).paths()}
+        assert any_s <= all_s
+
+    @given(small_graphs(), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=30, deadline=None)
+    def test_shortest_k_monotone_in_k(self, graph, k):
+        smaller = match(graph, f"MATCH SHORTEST {k} p = (a)->*(b)", CONFIG)
+        larger = match(graph, f"MATCH SHORTEST {k + 1} p = (a)->*(b)", CONFIG)
+        assert len(smaller) <= len(larger)
+
+    @given(small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_selector_never_empties_nonempty(self, graph):
+        # Section 5.1: adding a selector keeps at least one match.
+        base = match(graph, "MATCH (a)-[e]->{1,2}(b)", CONFIG)
+        selected = match(graph, "MATCH ANY (a)-[e]->{1,2}(b)", CONFIG)
+        assert bool(base) == bool(selected)
+
+
+class TestUnionInvariants:
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_union_is_dedup_of_alternation(self, graph):
+        union = match(graph, "MATCH (c:A) | (c:B) | (c:A)", CONFIG)
+        multiset = match(graph, "MATCH (c:A) |+| (c:B) |+| (c:A)", CONFIG)
+        union_ids = sorted(union.ids("c"))
+        multiset_ids = sorted(multiset.ids("c"))
+        assert sorted(set(multiset_ids)) == union_ids
+        assert len(multiset_ids) >= len(union_ids)
+
+    @given(small_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_overlapping_quantifier_union(self, graph):
+        left = match(graph, "MATCH p = ->{1,2} | ->{2,3}", CONFIG)
+        right = match(graph, "MATCH p = ->{1,3}", CONFIG)
+        assert sorted(str(p) for p in left.paths()) == sorted(
+            str(p) for p in right.paths()
+        )
+
+
+class TestDeterminism:
+    @given(small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_match_is_deterministic(self, graph):
+        # directed + bounded keeps the walk count tame on dense mixed
+        # multigraphs (any-orientation unbounded trails explode)
+        query = "MATCH TRAIL p = (a)-[e]->{0,5}(b:A)"
+        first = match(graph, query, CONFIG)
+        second = match(graph, query, CONFIG)
+        assert [str(p) for p in first.paths()] == [str(p) for p in second.paths()]
+
+    @given(small_graphs())
+    @settings(max_examples=30, deadline=None)
+    def test_prepared_query_reusable(self, graph):
+        prepared = prepare("MATCH (x:A)-[e]->(y)")
+        assert match(graph, prepared, CONFIG).to_dicts() == match(
+            graph, prepared, CONFIG
+        ).to_dicts()
+
+
+class TestSerializationRoundTrip:
+    @given(small_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_json_round_trip(self, graph):
+        clone = graph_from_json(graph_to_json(graph))
+        assert graph_to_dict(clone) == graph_to_dict(graph)

@@ -1,0 +1,55 @@
+"""Property tests: Kleene K3 laws for the three-valued logic."""
+
+import hypothesis.strategies as st
+from hypothesis import given
+
+from repro.values import FALSE, TRUE, UNKNOWN, TruthValue
+
+tv = st.sampled_from([TRUE, FALSE, UNKNOWN])
+
+
+class TestKleeneLaws:
+    @given(tv, tv)
+    def test_commutativity(self, a, b):
+        assert a.and_(b) is b.and_(a)
+        assert a.or_(b) is b.or_(a)
+
+    @given(tv, tv, tv)
+    def test_associativity(self, a, b, c):
+        assert a.and_(b.and_(c)) is a.and_(b).and_(c)
+        assert a.or_(b.or_(c)) is a.or_(b).or_(c)
+
+    @given(tv, tv, tv)
+    def test_distributivity(self, a, b, c):
+        assert a.and_(b.or_(c)) is a.and_(b).or_(a.and_(c))
+        assert a.or_(b.and_(c)) is a.or_(b).and_(a.or_(c))
+
+    @given(tv)
+    def test_double_negation(self, a):
+        assert a.not_().not_() is a
+
+    @given(tv, tv)
+    def test_de_morgan(self, a, b):
+        assert a.and_(b).not_() is a.not_().or_(b.not_())
+        assert a.or_(b).not_() is a.not_().and_(b.not_())
+
+    @given(tv)
+    def test_identity_elements(self, a):
+        assert a.and_(TRUE) is a
+        assert a.or_(FALSE) is a
+        assert a.and_(FALSE) is FALSE
+        assert a.or_(TRUE) is TRUE
+
+    @given(tv)
+    def test_unknown_absorbs_excluded_middle(self, a):
+        # K3 has no excluded middle: a OR NOT a is UNKNOWN when a is
+        law = a.or_(a.not_())
+        if a is UNKNOWN:
+            assert law is UNKNOWN
+        else:
+            assert law is TRUE
+
+    @given(tv)
+    def test_idempotence(self, a):
+        assert a.and_(a) is a
+        assert a.or_(a) is a

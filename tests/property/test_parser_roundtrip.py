@@ -1,0 +1,108 @@
+"""Property test: pretty-printing a parsed query re-parses to a fixpoint.
+
+A random pattern-AST generator builds queries covering the full grammar
+(orientations, labels, quantifiers, unions, optionals, restrictors,
+selectors); parsing then printing must reach a syntactic fixpoint, and
+both texts must produce identical results on the banking graph when the
+query is executable.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.datasets import figure1_graph
+from repro.errors import GpmlAnalysisError
+from repro.gpml import match
+from repro.gpml.parser import parse_match
+from repro.gpml.matcher import MatcherConfig
+
+_FIG1 = figure1_graph()
+_CONFIG = MatcherConfig(max_steps=300_000, max_results=60_000)
+
+_VARS = ["a", "b", "c", "x", "y"]
+_LABELS = ["Account", "Phone", "Transfer", "hasPhone", "City"]
+_ARROWS = ["->", "<-", "~", "<~", "~>", "<->", "-"]
+
+
+@st.composite
+def node_patterns(draw):
+    var = draw(st.sampled_from(_VARS + [""]))
+    label = draw(st.sampled_from(_LABELS + [""]))
+    parts = var
+    if label:
+        parts += f":{label}"
+    return f"({parts})"
+
+
+@st.composite
+def edge_patterns(draw):
+    arrow = draw(st.sampled_from(_ARROWS))
+    if draw(st.booleans()):
+        return arrow
+    var = draw(st.sampled_from(["e", "f", ""]))
+    label = draw(st.sampled_from(_LABELS + [""]))
+    spec = var + (f":{label}" if label else "")
+    full = {
+        "->": "-[{}]->", "<-": "<-[{}]-", "~": "~[{}]~",
+        "<~": "<~[{}]~", "~>": "~[{}]~>", "<->": "<-[{}]->", "-": "-[{}]-",
+    }[arrow]
+    return full.format(spec)
+
+
+@st.composite
+def concatenations(draw, depth=0):
+    parts = [draw(node_patterns())]
+    for _ in range(draw(st.integers(0, 2))):
+        edge = draw(edge_patterns())
+        if depth < 1 and draw(st.integers(0, 4)) == 0:
+            inner = draw(concatenations(depth=depth + 1))
+            lower = draw(st.integers(0, 2))
+            upper = lower + draw(st.integers(0, 2))
+            parts.append(f"[{inner}]{{{lower},{upper}}}")
+        else:
+            parts.append(edge)
+        parts.append(draw(node_patterns()))
+    return " ".join(parts)
+
+
+@st.composite
+def path_patterns(draw):
+    body = draw(concatenations())
+    if draw(st.booleans()):
+        other = draw(concatenations())
+        op = draw(st.sampled_from(["|", "|+|"]))
+        body = f"{body} {op} {other}"
+    head = draw(st.sampled_from(["", "TRAIL ", "ACYCLIC ", "SIMPLE ",
+                                 "ANY SHORTEST ", "ALL SHORTEST ", "ANY 2 "]))
+    return head + body
+
+
+@st.composite
+def queries(draw):
+    paths = [draw(path_patterns())]
+    if draw(st.integers(0, 3)) == 0:
+        paths.append(draw(path_patterns()))
+    return "MATCH " + ", ".join(paths)
+
+
+@given(queries())
+@settings(max_examples=150, deadline=None)
+def test_pretty_print_fixpoint(query):
+    first = parse_match(query)
+    printed = str(first)
+    second = parse_match(printed)
+    assert str(second) == printed
+
+
+@given(queries())
+@settings(max_examples=60, deadline=None)
+def test_printed_query_runs_identically(query):
+    try:
+        original = match(_FIG1, query, _CONFIG)
+    except GpmlAnalysisError:
+        return  # the random query is illegal; fixpoint already checked
+    printed = str(parse_match(query))
+    again = match(_FIG1, printed, _CONFIG)
+    assert sorted(str(p) for row in original.rows for p in row.paths) == sorted(
+        str(p) for row in again.rows for p in row.paths
+    )

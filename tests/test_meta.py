@@ -1,0 +1,70 @@
+"""Figure 10 and the other as-data paper artifacts."""
+
+from repro.meta import (
+    FIGURE5_EDGE_PATTERNS,
+    FIGURE6_QUANTIFIERS,
+    FIGURE7_RESTRICTORS,
+    FIGURE8_SELECTORS,
+    FIGURE10_TIMELINE,
+)
+
+
+class TestFigure10:
+    def test_all_milestones_present(self):
+        assert len(FIGURE10_TIMELINE) == 10
+        assert {e.standard for e in FIGURE10_TIMELINE} == {"SQL/PGQ", "GQL"}
+
+    def test_published_milestones(self):
+        published = [e for e in FIGURE10_TIMELINE if "Published" in e.milestone]
+        assert {e.standard for e in published} == {"SQL/PGQ", "GQL"}
+
+    def test_chronological_within_standard(self):
+        for standard in ("SQL/PGQ", "GQL"):
+            dates = [e.date for e in FIGURE10_TIMELINE if e.standard == standard]
+            assert dates == sorted(dates)
+
+
+class TestFeatureTablesMatchImplementation:
+    def test_figure5_matches_orientation_enum(self):
+        from repro.gpml.ast import Orientation
+
+        assert len(FIGURE5_EDGE_PATTERNS) == 7
+        described = {o.description for o in Orientation}
+        assert {k.lower() for k in FIGURE5_EDGE_PATTERNS} == {
+            d.lower() for d in described
+        }
+        for orientation in Orientation:
+            _, abbrev = FIGURE5_EDGE_PATTERNS[
+                orientation.description.capitalize()
+                if orientation.description[0].islower()
+                else orientation.description
+            ]
+            assert abbrev == orientation.abbreviation
+
+    def test_figure6_quantifiers_listed(self):
+        assert set(FIGURE6_QUANTIFIERS) == {"{m,n}", "{m,}", "*", "+"}
+
+    def test_figure7_matches_restrictors(self):
+        from repro.gpml.ast import RESTRICTORS
+
+        assert set(FIGURE7_RESTRICTORS) == set(RESTRICTORS)
+
+    def test_figure8_selectors_all_implemented(self):
+        from repro.gpml.parser import parse_match
+
+        mapping = {
+            "ANY SHORTEST": "ANY SHORTEST",
+            "ALL SHORTEST": "ALL SHORTEST",
+            "ANY": "ANY",
+            "ANY k": "ANY 2",
+            "SHORTEST k": "SHORTEST 2",
+            "SHORTEST k GROUP": "SHORTEST 2 GROUP",
+        }
+        assert set(FIGURE8_SELECTORS) == set(mapping)
+        for syntax in mapping.values():
+            stmt = parse_match(f"MATCH {syntax} (a)->*(b)")
+            assert stmt.paths[0].selector is not None
+
+    def test_figure8_determinism_flags(self):
+        deterministic = {k for k, (_, det) in FIGURE8_SELECTORS.items() if det}
+        assert deterministic == {"ALL SHORTEST", "SHORTEST k GROUP"}
