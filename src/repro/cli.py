@@ -20,7 +20,7 @@ from repro.datasets import figure1_graph
 from repro.errors import ReproError
 from repro.extensions.json_export import result_to_json
 from repro.gpml.engine import MatchResult, match
-from repro.gpml.explain import explain
+from repro.gpml.explain import explain, explain_plan
 from repro.graph.serialization import graph_from_json
 
 
@@ -58,7 +58,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--explain", action="store_true",
-        help="print the execution plan instead of running the query",
+        help="print the execution pipeline instead of running the query",
+    )
+    parser.add_argument(
+        "--explain-plan", action="store_true",
+        help="print the cost-based plan (anchors, indexes, estimated "
+        "cardinalities, join order) for the query against the graph",
     )
     return parser
 
@@ -72,6 +77,9 @@ def main(argv: list[str] | None = None) -> int:
             print(explain(query))
             return 0
         graph = _load_graph(args.graph)
+        if args.explain_plan:
+            print(explain_plan(graph, query))
+            return 0
         result = match(graph, query)
         if args.format == "json":
             print(result_to_json(result))

@@ -19,7 +19,7 @@ Pipeline (mirroring Section 6 of the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterator, Optional
 
 from repro.errors import GpmlEvaluationError
@@ -42,6 +42,8 @@ from repro.gpml.parser import parse_match
 from repro.gpml.selectors import apply_selector
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.path import Path
+from repro.planner.anchor import RIGHT, reverse_binding
+from repro.planner.plan import QueryPlan, plan_query
 from repro.values import NULL
 
 
@@ -54,6 +56,9 @@ class PreparedQuery:
     normalized: ast.GraphPattern
     analysis: QueryAnalysis
     nfas: list[PatternNFA]
+    #: per-graph query plan, keyed on the graph's mutation version
+    #: (managed by repro.planner.plan.plan_query)
+    plan_cache: dict = field(default_factory=dict, repr=False, compare=False)
 
     @property
     def num_path_patterns(self) -> int:
@@ -186,23 +191,28 @@ def match(
     prepared = query if isinstance(query, PreparedQuery) else prepare(query)
     config = config or MatcherConfig()
 
+    plan = plan_query(graph, prepared) if config.use_planner else None
     per_pattern = [
-        solve_path_pattern(graph, prepared, index, config)
+        solve_path_pattern(graph, prepared, index, config, plan)
         for index in range(prepared.num_path_patterns)
     ]
-    return assemble_result(graph, prepared, per_pattern)
+    return assemble_result(graph, prepared, per_pattern, plan)
 
 
 def assemble_result(
     graph: PropertyGraph,
     prepared: PreparedQuery,
     per_pattern: list[list[ReducedBinding]],
+    plan: Optional[QueryPlan] = None,
 ) -> MatchResult:
     """Join per-pattern solutions, apply the postfilter, build rows.
 
     Shared by the production engine and the Section 6 reference engine.
+    The optional plan supplies the join order; rows always come out in
+    the textual nested-loop order regardless.
     """
-    rows = _join_patterns(graph, prepared, per_pattern)
+    join_order = plan.join_order if plan is not None else None
+    rows = _join_patterns(graph, prepared, per_pattern, join_order)
     if prepared.normalized.where is not None:
         condition = prepared.normalized.where
         rows = [
@@ -292,12 +302,38 @@ def solve_path_pattern(
     prepared: PreparedQuery,
     index: int,
     config: MatcherConfig,
+    plan: Optional[QueryPlan] = None,
 ) -> list[ReducedBinding]:
-    """Solutions (reduced, deduplicated, selected) of one path pattern."""
+    """Solutions (reduced, deduplicated, selected) of one path pattern.
+
+    With a plan, the search starts from the planned candidate set and —
+    for a right anchor — runs the reversed pattern, mapping each accepted
+    binding back to forward orientation before reduction, so everything
+    downstream (dedup, selectors, joins) is orientation-blind.
+    """
     path = prepared.normalized.paths[index]
     analysis = prepared.analysis.paths[index]
     nfa = prepared.nfas[index]
-    matcher = Matcher(graph, nfa, path.pattern, config)
+
+    pattern_plan = plan.patterns[index] if plan is not None else None
+    reversed_run = (
+        pattern_plan is not None
+        and pattern_plan.side == RIGHT
+        and pattern_plan.reversed_nfa is not None
+    )
+    if reversed_run:
+        matcher = Matcher(
+            graph,
+            pattern_plan.reversed_nfa,
+            pattern_plan.reversed_path.pattern,
+            config,
+            start_candidates=pattern_plan.start_candidates(graph),
+        )
+    else:
+        start = (
+            pattern_plan.start_candidates(graph) if pattern_plan is not None else None
+        )
+        matcher = Matcher(graph, nfa, path.pattern, config, start_candidates=start)
 
     strategy = analysis.strategy
     if strategy == ENUMERATE:
@@ -311,6 +347,11 @@ def solve_path_pattern(
         raw = matcher.search_cheapest(selector.k or 1, selector.cost_property or "cost")
     else:
         raise GpmlEvaluationError(f"unknown strategy {strategy!r}")
+
+    if pattern_plan is not None:
+        pattern_plan.observed_candidates = matcher.initial_candidate_count
+    if reversed_run:
+        raw = [reverse_binding(binding) for binding in raw]
 
     reduced = [
         reduce_binding(b, analysis.group_vars, analysis.anonymous_vars) for b in raw
@@ -327,10 +368,22 @@ def _join_patterns(
     graph: PropertyGraph,
     prepared: PreparedQuery,
     per_pattern: list[list[ReducedBinding]],
+    join_order: Optional[list[int]] = None,
 ) -> list[BindingRow]:
-    rows: list[tuple[dict[str, Any], list[Path]]] = [({}, [])]
+    """Natural-join the per-pattern solutions on shared singleton vars.
+
+    ``join_order`` (from the planner) controls only the *evaluation*
+    order; each partial row remembers which solution index it used per
+    pattern, and the final sort restores the exact nested-loop order of
+    the textual pattern sequence, so results are plan-independent.
+    """
+    num_patterns = len(per_pattern)
+    order = list(join_order) if join_order is not None else list(range(num_patterns))
+    # (values, path per pattern index, solution index per pattern index)
+    rows: list[tuple[dict[str, Any], dict[int, Path], dict[int, int]]] = [({}, {}, {})]
     bound_vars: set[str] = set()
-    for index, solutions in enumerate(per_pattern):
+    for index in order:
+        solutions = per_pattern[index]
         path = prepared.normalized.paths[index]
         path_analysis = prepared.analysis.paths[index]
         shared = sorted(
@@ -339,34 +392,50 @@ def _join_patterns(
             if not info.anonymous and not info.group and name in bound_vars
         )
         materialized = [
-            _materialize(graph, solution, path_analysis, path.path_var)
-            for solution in solutions
+            (position, *_materialize(graph, solution, path_analysis, path.path_var))
+            for position, solution in enumerate(solutions)
         ]
         if shared:
-            bucket: dict[tuple, list[tuple[dict, Path]]] = {}
-            for values, path_obj in materialized:
+            bucket: dict[tuple, list[tuple[int, dict, Path]]] = {}
+            for position, values, path_obj in materialized:
                 key = tuple(_join_key(values.get(name)) for name in shared)
-                bucket.setdefault(key, []).append((values, path_obj))
+                bucket.setdefault(key, []).append((position, values, path_obj))
             new_rows = []
-            for row_values, row_paths in rows:
+            for row_values, row_paths, row_positions in rows:
                 key = tuple(_join_key(row_values.get(name)) for name in shared)
-                for values, path_obj in bucket.get(key, ()):
+                for position, values, path_obj in bucket.get(key, ()):
                     merged = dict(row_values)
                     merged.update(values)
-                    new_rows.append((merged, row_paths + [path_obj]))
+                    new_rows.append(
+                        (
+                            merged,
+                            {**row_paths, index: path_obj},
+                            {**row_positions, index: position},
+                        )
+                    )
             rows = new_rows
         else:
             rows = [
-                (dict(row_values) | values, row_paths + [path_obj])
-                for row_values, row_paths in rows
-                for values, path_obj in materialized
+                (
+                    dict(row_values) | values,
+                    {**row_paths, index: path_obj},
+                    {**row_positions, index: position},
+                )
+                for row_values, row_paths, row_positions in rows
+                for position, values, path_obj in materialized
             ]
         bound_vars.update(
             name
             for name, info in path_analysis.vars.items()
             if not info.anonymous and not info.group
         )
-    return [BindingRow(values, paths) for values, paths in rows]
+    rows.sort(
+        key=lambda row: tuple(row[2][index] for index in range(num_patterns))
+    )
+    return [
+        BindingRow(values, [paths[index] for index in range(num_patterns)])
+        for values, paths, _ in rows
+    ]
 
 
 def _join_key(value: Any) -> Any:

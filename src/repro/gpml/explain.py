@@ -4,12 +4,19 @@ Surfaces each pipeline stage of the engine — the normalized pattern (the
 paper's Section 6.2 output), the variable classification (Sections
 4.4/4.6), the compiled automaton, and the chosen search strategy with the
 reasoning behind it (Section 5 termination analysis).
+
+:func:`explain_plan` is the cost-based companion: given a concrete graph
+it renders the planner's decisions — chosen anchor side, access path
+(property index / label scan / full scan), estimated cardinalities, the
+scored alternatives, and the cross-pattern join order.
 """
 
 from __future__ import annotations
 
 from repro.gpml import ast
 from repro.gpml.engine import PreparedQuery, prepare
+from repro.graph.model import PropertyGraph
+from repro.planner.plan import plan_query
 
 
 def explain(query: "str | PreparedQuery") -> str:
@@ -57,6 +64,16 @@ def explain(query: "str | PreparedQuery") -> str:
     if join_vars:
         lines.append(f"cross-pattern join on: {', '.join(sorted(join_vars))}")
     return "\n".join(lines)
+
+
+def explain_plan(graph: PropertyGraph, query: "str | PreparedQuery") -> str:
+    """Render the cost-based execution plan of a query against *graph*."""
+    prepared = query if isinstance(query, PreparedQuery) else prepare(query)
+    plan = plan_query(graph, prepared)
+    return plan.render(
+        query_text=prepared.text or str(prepared.normalized),
+        paths=[str(path) for path in prepared.normalized.paths],
+    )
 
 
 def explain_automaton(query: "str | PreparedQuery", index: int = 0) -> str:

@@ -1,6 +1,10 @@
 """Product-graph search: evaluating one compiled path pattern on a graph.
 
-The matcher explores runs of the pattern NFA over the property graph.
+The matcher explores runs of the pattern NFA over the property graph,
+seeded either by planner-supplied start candidates (see
+:mod:`repro.planner` — property indexes, anchor-side selection) or by its
+own narrowing of the leftmost pinned element (labels plus sargable
+property equalities).
 A *run* tracks the current graph node, NFA state, quantifier counters,
 iteration annotations, restrictor scopes, bindings, the walked path, and
 multiset tags.  Four search strategies cover the semantics of Section 5:
@@ -47,8 +51,9 @@ from repro.gpml.automaton import (
 )
 from repro.gpml.bindings import Annotation, ElementaryBinding, PathBinding
 from repro.gpml.expr import EvalContext
-from repro.gpml.label_expr import LabelAnd, LabelAtom, LabelExpr, LabelOr
+from repro.gpml.label_expr import LabelAtom
 from repro.graph.model import PropertyGraph
+from repro.planner.indexes import initial_node_candidates
 from repro.values import NULL, is_null
 
 
@@ -61,6 +66,7 @@ class MatcherConfig:
     max_depth: Optional[int] = None  # k-search / cheapest safety bound
     default_edge_cost: float = 1.0
     use_label_index: bool = True  # per-node label-filtered incidence lists
+    use_planner: bool = True  # cost-based anchor/join planning (repro.planner)
 
 
 # ----------------------------------------------------------------------
@@ -257,12 +263,20 @@ class Matcher:
         nfa: PatternNFA,
         pattern: ast.Pattern,
         config: MatcherConfig | None = None,
+        start_candidates: Optional[Iterable[str]] = None,
     ):
         self.graph = graph
         self.nfa = nfa
         self.pattern = pattern
         self.config = config or MatcherConfig()
         self._steps = 0
+        #: planner-supplied start nodes; None = derive from the pattern
+        self._start_candidates = (
+            None if start_candidates is None else list(start_candidates)
+        )
+        #: how many start nodes the search actually seeded (observability
+        #: for EXPLAIN PLAN, benchmarks and the planner's regression tests)
+        self.initial_candidate_count = 0
 
     # -- public strategies ----------------------------------------------
     def enumerate_all(self) -> list[PathBinding]:
@@ -354,6 +368,7 @@ class Matcher:
     # -- initialization --------------------------------------------------
     def _initial_runs(self) -> Iterable[_Run]:
         candidates = self._initial_candidates()
+        self.initial_candidate_count = len(candidates)
         for node_id in candidates:
             yield _Run(
                 state=self.nfa.start,
@@ -371,13 +386,12 @@ class Matcher:
             )
 
     def _initial_candidates(self) -> list[str]:
-        labels = _leftmost_required_labels(self.pattern)
-        if labels is None:
+        if self._start_candidates is not None:
+            return self._start_candidates
+        candidates = initial_node_candidates(self.graph, self.pattern)
+        if candidates is None:
             return sorted(self.graph.node_ids())
-        out: set[str] = set()
-        for label in labels:
-            out.update(node.id for node in self.graph.nodes_with_label(label))
-        return sorted(out)
+        return candidates
 
     # -- epsilon closure --------------------------------------------------
     def _closure(self, run: _Run, frontier: list[_Run], accepts: list[PathBinding]) -> None:
@@ -741,67 +755,5 @@ def _del_counter(counters: tuple, quant_id: int) -> tuple:
     return tuple((qid, count) for qid, count in counters if qid != quant_id)
 
 
-# ----------------------------------------------------------------------
-# Start-candidate narrowing
-# ----------------------------------------------------------------------
-def _leftmost_required_labels(pattern: ast.Pattern) -> Optional[frozenset[str]]:
-    """Labels one of which the first matched node must carry, or None.
-
-    Conservative: returns None whenever the first node cannot be pinned
-    down (optional prefixes, wildcard/negated labels, bare edges).
-    """
-    if isinstance(pattern, ast.NodePattern):
-        return _required_labels_of(pattern.label)
-    if isinstance(pattern, ast.Concatenation):
-        for item in pattern.items:
-            result = _leftmost_required_labels(item)
-            if _may_be_empty(item):
-                # The first element can be skipped; give up narrowing.
-                return None
-            return result
-        return None
-    if isinstance(pattern, ast.ParenPattern):
-        return _leftmost_required_labels(pattern.inner)
-    if isinstance(pattern, ast.Quantified):
-        if pattern.lower == 0:
-            return None
-        return _leftmost_required_labels(pattern.inner)
-    if isinstance(pattern, ast.Alternation):
-        union: set[str] = set()
-        for branch in pattern.branches:
-            result = _leftmost_required_labels(branch)
-            if result is None:
-                return None
-            union.update(result)
-        return frozenset(union)
-    return None
-
-
-def _may_be_empty(pattern: ast.Pattern) -> bool:
-    if isinstance(pattern, (ast.Quantified,)):
-        return pattern.lower == 0
-    if isinstance(pattern, ast.OptionalPattern):
-        return True
-    return False
-
-
-def _required_labels_of(label: Optional[LabelExpr]) -> Optional[frozenset[str]]:
-    if label is None:
-        return None
-    if isinstance(label, LabelAtom):
-        return frozenset({label.name})
-    if isinstance(label, LabelAnd):
-        for item in label.items:
-            result = _required_labels_of(item)
-            if result is not None:
-                return result
-        return None
-    if isinstance(label, LabelOr):
-        union: set[str] = set()
-        for item in label.items:
-            result = _required_labels_of(item)
-            if result is None:
-                return None
-            union.update(result)
-        return frozenset(union)
-    return None
+# Start-candidate narrowing lives in repro.planner.indexes (sargable
+# predicate extraction + label scans); see initial_node_candidates.

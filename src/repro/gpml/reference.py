@@ -202,6 +202,15 @@ def _match_rigid(graph: PropertyGraph, seq: _RigidSeq, max_rows: int) -> list[Pa
                 position=start,
             )
             rows = part if rows is None else _equi_join(rows, part, max_rows)
+            # Prune restrictor violations on the joined prefix: a repeated
+            # edge (TRAIL) or node (ACYCLIC/SIMPLE) can never be repaired
+            # by extending the walk, and dense graphs otherwise blow the
+            # row budget on joins the restrictor would discard anyway.
+            rows = [
+                row
+                for row in rows
+                if _prefix_restrictions_hold(row, seq.restrictions, start + 2)
+            ]
             if not rows:
                 return []
     out: list[PathBinding] = []
@@ -364,6 +373,34 @@ def _assemble(graph: PropertyGraph, seq: _RigidSeq, row: dict) -> Optional[PathB
         else:
             entries.append(ElementaryBinding(item.var, item.ann, elements[index]))
     return PathBinding(elements=elements, entries=tuple(entries), bag_tags=seq.bag_tags)
+
+
+def _prefix_restrictions_hold(
+    row: dict, restrictions: list[tuple], max_position: int
+) -> bool:
+    """Can a partial walk (positions 0..max_position) still satisfy all
+    restrictions?  Complete spans get the exact check; incomplete ones the
+    prefix-monotone necessary condition (distinct edges for TRAIL,
+    distinct nodes for ACYCLIC — and for SIMPLE too: an interior repeat
+    can never be legalized, and a premature return to the first node puts
+    it at an interior position of the final span)."""
+    for kind, start, end in restrictions:
+        if start >= max_position:
+            continue
+        upto = min(end, max_position)
+        span = tuple(row[("pos", i)] for i in range(start, upto + 1))
+        if upto == end:
+            if not _restriction_holds(kind, span):
+                return False
+        elif kind == "TRAIL":
+            edges = span[1::2]
+            if len(set(edges)) != len(edges):
+                return False
+        else:  # ACYCLIC | SIMPLE
+            nodes = span[0::2]
+            if len(set(nodes)) != len(nodes):
+                return False
+    return True
 
 
 def _restriction_holds(kind: str, span: tuple[str, ...]) -> bool:

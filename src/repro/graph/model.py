@@ -50,6 +50,32 @@ class _ElementData:
     properties: dict[str, Any] = field(default_factory=dict)
 
 
+#: sentinel for "property absent" (None is a legal property value)
+_MISSING = object()
+
+#: shared bucket key for unhashable property values; literals are always
+#: hashable, so lookups can never match this bucket
+_UNHASHABLE = object()
+
+
+def _index_key(value: Any) -> Any:
+    try:
+        hash(value)
+    except TypeError:
+        return _UNHASHABLE
+    return value
+
+
+def _index_add(buckets: dict[Any, set[str]], value: Any, element_id: str) -> None:
+    buckets.setdefault(_index_key(value), set()).add(element_id)
+
+
+def _index_discard(buckets: dict[Any, set[str]], value: Any, element_id: str) -> None:
+    bucket = buckets.get(_index_key(value))
+    if bucket is not None:
+        bucket.discard(element_id)
+
+
 @dataclass
 class _EdgeData(_ElementData):
     first: str = ""
@@ -210,7 +236,22 @@ class PropertyGraph:
         self._node_label_index: dict[str, set[str]] = {}
         self._edge_label_index: dict[str, set[str]] = {}
         self._incidence_label_cache: dict[str, dict[str, list[Incidence]]] = {}
+        # Property-value hash indexes, keyed (kind, label-or-None, property).
+        # Maintained incrementally by every mutation below; see create_index.
+        self._property_indexes: dict[
+            tuple[str, str | None, str], dict[Any, set[str]]
+        ] = {}
         self._auto_counter = 0
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter; bumped by every structural or property change.
+
+        Consumers (statistics catalogs, cached query plans) key their
+        caches on this value so graph mutation invalidates them.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Construction
@@ -237,6 +278,8 @@ class PropertyGraph:
         self._incidence[node_id] = []
         for label in data.labels:
             self._node_label_index.setdefault(label, set()).add(node_id)
+        self._index_element_added("node", node_id, data)
+        self._version += 1
         return Node(self, node_id)
 
     def add_edge(
@@ -274,6 +317,8 @@ class PropertyGraph:
             self._edge_label_index.setdefault(label, set()).add(edge_id)
         self._incidence_label_cache.pop(first, None)
         self._incidence_label_cache.pop(second, None)
+        self._index_element_added("edge", edge_id, data)
+        self._version += 1
         return Edge(self, edge_id)
 
     def add_undirected_edge(
@@ -297,6 +342,8 @@ class PropertyGraph:
             self._incidence_label_cache.pop(endpoint, None)
         for label in data.labels:
             self._edge_label_index[label].discard(edge_id)
+        self._index_element_removed("edge", edge_id, data)
+        self._version += 1
 
     def remove_node(self, node_id: str) -> None:
         """Remove a node and every incident edge."""
@@ -310,9 +357,141 @@ class PropertyGraph:
         self._incidence_label_cache.pop(node_id, None)
         for label in data.labels:
             self._node_label_index[label].discard(node_id)
+        self._index_element_removed("node", node_id, data)
+        self._version += 1
 
     def set_property(self, element_id: str, key: str, value: Any) -> None:
-        self._element_data(element_id).properties[key] = value
+        data = self._element_data(element_id)
+        kind = "node" if element_id in self._nodes else "edge"
+        old = data.properties.get(key, _MISSING)
+        data.properties[key] = value
+        for (index_kind, label, prop), buckets in self._property_indexes.items():
+            if index_kind != kind or prop != key:
+                continue
+            if label is not None and label not in data.labels:
+                continue
+            if old is not _MISSING:
+                _index_discard(buckets, old, element_id)
+            _index_add(buckets, value, element_id)
+        self._version += 1
+
+    def set_labels(self, element_id: str, labels: Iterable[str]) -> None:
+        """Replace the label set of a node or edge, keeping indexes correct."""
+        data = self._element_data(element_id)
+        kind = "node" if element_id in self._nodes else "edge"
+        old_labels = data.labels
+        new_labels = frozenset(labels)
+        data.labels = new_labels
+        label_index = (
+            self._node_label_index if kind == "node" else self._edge_label_index
+        )
+        for label in old_labels - new_labels:
+            label_index[label].discard(element_id)
+        for label in new_labels - old_labels:
+            label_index.setdefault(label, set()).add(element_id)
+        if kind == "edge":
+            edge_data = self._edges[element_id]
+            self._incidence_label_cache.pop(edge_data.first, None)
+            self._incidence_label_cache.pop(edge_data.second, None)
+        for (index_kind, label, prop), buckets in self._property_indexes.items():
+            if index_kind != kind or label is None:
+                continue
+            if label in old_labels and label not in new_labels:
+                if prop in data.properties:
+                    _index_discard(buckets, data.properties[prop], element_id)
+            elif label in new_labels and label not in old_labels:
+                if prop in data.properties:
+                    _index_add(buckets, data.properties[prop], element_id)
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Property-value hash indexes
+    # ------------------------------------------------------------------
+    def create_index(self, label: str | None, prop: str, kind: str = "node") -> None:
+        """Build a hash index over *prop* values of elements carrying *label*.
+
+        ``label=None`` indexes every element of the given kind.  Indexes
+        are maintained incrementally by all mutation methods; building an
+        existing index is a no-op.
+        """
+        if kind not in ("node", "edge"):
+            raise GraphError(f"unknown index kind {kind!r}")
+        key = (kind, label, prop)
+        if key in self._property_indexes:
+            return
+        buckets: dict[Any, set[str]] = {}
+        store = self._nodes if kind == "node" else self._edges
+        if label is None:
+            members: Iterable[str] = store
+        else:
+            index = (
+                self._node_label_index if kind == "node" else self._edge_label_index
+            )
+            members = index.get(label, ())
+        for element_id in members:
+            properties = store[element_id].properties
+            if prop in properties:
+                _index_add(buckets, properties[prop], element_id)
+        self._property_indexes[key] = buckets
+
+    def drop_index(self, label: str | None, prop: str, kind: str = "node") -> None:
+        self._property_indexes.pop((kind, label, prop), None)
+
+    def has_index(self, label: str | None, prop: str, kind: str = "node") -> bool:
+        return (kind, label, prop) in self._property_indexes
+
+    def indexes(self) -> list[tuple[str, str | None, str]]:
+        """The (kind, label, property) keys of all existing indexes."""
+        return sorted(
+            self._property_indexes, key=lambda k: (k[0], k[1] or "", k[2])
+        )
+
+    def index_lookup(
+        self,
+        label: str | None,
+        prop: str,
+        value: Any,
+        kind: str = "node",
+        create: bool = True,
+    ) -> frozenset[str]:
+        """Element ids with ``prop = value`` (and *label*, unless None).
+
+        Creates the index lazily when *create* is true — the build is a
+        single scan, no more than the lookup it replaces, and amortizes
+        across repeated queries.
+        """
+        key = (kind, label, prop)
+        if key not in self._property_indexes:
+            if not create:
+                return frozenset()
+            self.create_index(label, prop, kind)
+        value_key = _index_key(value)
+        if value_key is _UNHASHABLE:
+            return frozenset()
+        bucket = self._property_indexes[key].get(value_key)
+        return frozenset(bucket) if bucket else frozenset()
+
+    def _index_element_added(self, kind: str, element_id: str, data: _ElementData) -> None:
+        if not self._property_indexes:
+            return
+        for (index_kind, label, prop), buckets in self._property_indexes.items():
+            if index_kind != kind:
+                continue
+            if label is not None and label not in data.labels:
+                continue
+            if prop in data.properties:
+                _index_add(buckets, data.properties[prop], element_id)
+
+    def _index_element_removed(self, kind: str, element_id: str, data: _ElementData) -> None:
+        if not self._property_indexes:
+            return
+        for (index_kind, label, prop), buckets in self._property_indexes.items():
+            if index_kind != kind:
+                continue
+            if label is not None and label not in data.labels:
+                continue
+            if prop in data.properties:
+                _index_discard(buckets, data.properties[prop], element_id)
 
     # ------------------------------------------------------------------
     # Lookup

@@ -1,9 +1,21 @@
-"""Summary statistics of a property graph (used by EXPLAIN and benchmarks)."""
+"""Summary statistics of a property graph.
+
+Two layers:
+
+* :func:`graph_statistics` — the structural summary used by EXPLAIN and
+  benchmarks (node/edge counts, label histograms, degrees),
+* :func:`cardinality_statistics` — the planner-facing catalog: per-label
+  node/edge cardinalities, label-pair edge counts (join selectivities),
+  and per-(label, property) distinct-value counts.  The cost-based
+  planner (:mod:`repro.planner`) consumes these through a per-graph cache
+  keyed on :attr:`PropertyGraph.version`.
+"""
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.graph.model import OUT, PropertyGraph
 
@@ -64,4 +76,126 @@ def graph_statistics(graph: PropertyGraph) -> GraphStatistics:
         edge_label_histogram=dict(edge_labels),
         max_out_degree=max_out,
         mean_degree=mean_degree,
+    )
+
+
+# ----------------------------------------------------------------------
+# Planner-facing cardinality catalog
+# ----------------------------------------------------------------------
+#: histogram key for elements carrying no label at all
+UNLABELED = None
+
+
+@dataclass(frozen=True)
+class CardinalityStatistics:
+    """Cardinalities and selectivities backing cost-based planning.
+
+    * ``node_label_counts`` / ``edge_label_counts`` — elements per label
+      (an element with several labels counts once per label); the
+      ``None`` key counts completely unlabeled elements.
+    * ``edge_label_pairs`` — per edge label, how many edges connect a
+      (source-label, target-label) pair; undirected edges count both
+      orientations.  ``None`` in a pair slot stands for an unlabeled
+      endpoint.  ``count / edge_label_counts[label]`` is the label-pair
+      selectivity of the edge label.
+    * ``distinct_values`` — per (kind, label-or-None, property), the
+      number of distinct values the property takes on elements carrying
+      the label.  Drives equality-predicate selectivity: a lookup of one
+      value is estimated at ``label_count / distinct``.
+    """
+
+    version: int
+    num_nodes: int
+    num_edges: int
+    node_label_counts: dict[Optional[str], int] = field(default_factory=dict)
+    edge_label_counts: dict[Optional[str], int] = field(default_factory=dict)
+    edge_label_pairs: dict[
+        Optional[str], dict[tuple[Optional[str], Optional[str]], int]
+    ] = field(default_factory=dict)
+    distinct_values: dict[tuple[str, Optional[str], str], int] = field(
+        default_factory=dict
+    )
+
+    def node_count(self, label: Optional[str]) -> int:
+        if label is None:
+            return self.num_nodes
+        return self.node_label_counts.get(label, 0)
+
+    def edge_count(self, label: Optional[str]) -> int:
+        if label is None:
+            return self.num_edges
+        return self.edge_label_counts.get(label, 0)
+
+    def distinct(self, kind: str, label: Optional[str], prop: str) -> int:
+        """Distinct values of *prop*; 0 when no element carries it."""
+        return self.distinct_values.get((kind, label, prop), 0)
+
+    def pair_selectivity(
+        self, edge_label: Optional[str], source_label: Optional[str], target_label: Optional[str]
+    ) -> float:
+        """Fraction of *edge_label* edges joining the given label pair."""
+        pairs = self.edge_label_pairs.get(edge_label)
+        total = self.edge_count(edge_label)
+        if not pairs or not total:
+            return 1.0
+        count = pairs.get((source_label, target_label), 0)
+        return count / total
+
+
+def cardinality_statistics(graph: PropertyGraph) -> CardinalityStatistics:
+    """One full pass over the graph collecting the planner's catalog."""
+    node_label_counts: Counter = Counter()
+    edge_label_counts: Counter = Counter()
+    edge_label_pairs: dict[Optional[str], Counter] = {}
+    distinct_sets: dict[tuple[str, Optional[str], str], set] = {}
+
+    def _record_properties(kind: str, labels: frozenset, properties: dict) -> None:
+        label_keys: tuple = tuple(labels) if labels else (UNLABELED,)
+        for prop, value in properties.items():
+            try:
+                hash(value)
+            except TypeError:
+                value = repr(value)
+            for label in label_keys:
+                distinct_sets.setdefault((kind, label, prop), set()).add(value)
+            distinct_sets.setdefault((kind, None, prop), set()).add(value)
+
+    for node in graph.nodes():
+        labels = node.labels
+        if labels:
+            node_label_counts.update(labels)
+        else:
+            node_label_counts[UNLABELED] += 1
+        _record_properties("node", labels, dict(node.properties))
+
+    for edge in graph.edges():
+        labels = edge.labels
+        if labels:
+            edge_label_counts.update(labels)
+        else:
+            edge_label_counts[UNLABELED] += 1
+        _record_properties("edge", labels, dict(edge.properties))
+
+        first, second = edge.endpoint_ids
+        source_labels = tuple(graph.labels_of(first)) or (UNLABELED,)
+        target_labels = tuple(graph.labels_of(second)) or (UNLABELED,)
+        edge_keys: tuple = tuple(labels) if labels else (UNLABELED,)
+        orientations = [(source_labels, target_labels)]
+        if not edge.is_directed:
+            orientations.append((target_labels, source_labels))
+        for label in edge_keys:
+            pairs = edge_label_pairs.setdefault(label, Counter())
+            for src_labels, dst_labels in orientations:
+                for src in src_labels:
+                    for dst in dst_labels:
+                        pairs[(src, dst)] += 1
+
+    return CardinalityStatistics(
+        version=graph.version,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        node_label_counts=dict(node_label_counts),
+        edge_label_counts=dict(edge_label_counts),
+        edge_label_pairs={k: dict(v) for k, v in edge_label_pairs.items()},
+        distinct_values={k: len(v) for k, v in distinct_sets.items()},
     )

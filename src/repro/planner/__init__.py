@@ -1,0 +1,40 @@
+"""Cost-based query planning: statistics, indexes, anchors, join order.
+
+The planner sits between :func:`repro.gpml.engine.prepare` and the
+matcher.  Given a prepared query and a concrete graph it produces a
+:class:`~repro.planner.plan.QueryPlan` that decides, per path pattern,
+
+* **where to anchor** the product-graph search — leftmost element,
+  rightmost element (executed by reversing the pattern), scored against
+  interior fixed elements,
+* **which access path** supplies the start candidates — a property-value
+  hash index, a label scan, or a full node scan,
+* **in which order** multiple path patterns join (smallest estimated
+  result first, connected joins before cross products).
+
+Planning is purely an exploration-order decision: the bag of results is
+identical to the naive left-to-right engine (differentially tested
+against it and against the Section 6 reference engine).
+
+Modules: :mod:`~repro.planner.stats` (cardinality catalog + caching),
+:mod:`~repro.planner.indexes` (sargable predicates, candidate sources),
+:mod:`~repro.planner.anchor` (pattern/binding reversal, anchor scoring),
+:mod:`~repro.planner.plan` (plan representation and EXPLAIN PLAN).
+"""
+
+from repro.planner.anchor import reverse_binding, reverse_pattern
+from repro.planner.indexes import CandidateSource, sargable_equalities
+from repro.planner.plan import AnchorOption, PatternPlan, QueryPlan, plan_query
+from repro.planner.stats import StatisticsCatalog
+
+__all__ = [
+    "AnchorOption",
+    "CandidateSource",
+    "PatternPlan",
+    "QueryPlan",
+    "StatisticsCatalog",
+    "plan_query",
+    "reverse_binding",
+    "reverse_pattern",
+    "sargable_equalities",
+]
