@@ -69,7 +69,7 @@ def _candidate_counts(graph, query):
     naive_matcher = Matcher(
         graph, prepared.nfas[0], prepared.normalized.paths[0].pattern, NAIVE
     )
-    naive_matcher.enumerate_all()
+    list(naive_matcher.enumerate_all())  # generator: drain to run the search
     plan = plan_query(graph, prepared)
     match(graph, prepared, PLANNED)
     return naive_matcher.initial_candidate_count, plan.patterns[0].observed_candidates

@@ -6,12 +6,16 @@ Walks through the core API in five minutes:
 2. run MATCH statements with :func:`match`,
 3. read nodes/edges/paths from the result rows,
 4. see restrictors and selectors bound an unbounded search,
-5. inspect the execution plan with :func:`explain`.
+5. stream rows lazily with :func:`match_iter` / :func:`first` /
+   :func:`exists` (early termination stops the search itself),
+6. inspect the execution plan with :func:`explain`.
 """
 
 import _bootstrap  # noqa: F401
 
-from repro import GraphBuilder, match
+from itertools import islice
+
+from repro import GraphBuilder, exists, first, match, match_iter
 from repro.gpml.explain import explain
 
 
@@ -63,7 +67,24 @@ def main() -> None:
     for row in shortest:
         print("   ", row["p"])
 
-    # 5. What will the engine do? --------------------------------------
+    # 5. Streaming: pull rows lazily, stop the search early ------------
+    # match_iter yields rows as the search discovers them; first/exists
+    # push a one-row budget down into the search, so probing a huge
+    # graph costs a handful of edge expansions, not a full enumeration.
+    stream = match_iter(graph, "MATCH (a:Person)-[t:Paid]->(b)")
+    print("\nfirst two payments, streamed (search stops after two):")
+    for row in islice(stream, 2):
+        print(f"    {row['a']['name']} -> {row['b']['name']}")
+
+    print("\nis anyone paid by two different people? ->",
+          exists(graph, "MATCH (x)-[:Paid]->(b)<-[:Paid]-(y) "
+                        "WHERE x.name <> y.name"))
+    probe = first(graph, "MATCH (a)-[:Paid]->(b WHERE b.city='Zembla')")
+    print("first payment into Zembla:",
+          f"{probe['a']['name']} -> {probe['b']['name']}" if probe else None)
+
+    # 6. What will the engine do? --------------------------------------
+    # The plan ends with the pipeline: which stages stream, which block.
     print("\nexecution plan for the shortest-route query:")
     print(
         explain(

@@ -17,21 +17,36 @@ Quickstart::
 
 from repro.datasets import figure1_graph
 from repro.graph import GraphBuilder, Path, PropertyGraph
-from repro.gpml import MatchResult, PreparedQuery, match, prepare
+from repro.gpml import (
+    MatchResult,
+    PipelineStats,
+    PreparedQuery,
+    RowBudget,
+    exists,
+    first,
+    match,
+    match_iter,
+    prepare,
+)
 from repro.values import NULL, TruthValue
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "GraphBuilder",
     "MatchResult",
     "NULL",
     "Path",
+    "PipelineStats",
     "PreparedQuery",
     "PropertyGraph",
+    "RowBudget",
     "TruthValue",
+    "exists",
     "figure1_graph",
+    "first",
     "match",
+    "match_iter",
     "prepare",
     "__version__",
 ]

@@ -5,21 +5,30 @@ Usage::
     python -m repro 'MATCH (x:Account WHERE x.isBlocked="no")'
     python -m repro --graph mygraph.json --format json 'MATCH (a)-[e]->(b)'
     python -m repro --explain 'MATCH ANY SHORTEST p = (a)->*(b)'
+    python -m repro --limit 10 'MATCH (a)-[e:Transfer]->(b)'
+    python -m repro --first 'MATCH (a)-[e]->(a)'
 
 With no ``--graph``, queries run against the paper's Figure 1 banking
 graph.  Single or double quotes work for string literals (double quotes
 are normalized so shell quoting stays sane).
+
+``--limit N`` / ``--first`` use the streaming execution path: rows print
+as the search discovers them, and a satisfied row budget terminates the
+search itself — a ``--first`` probe on a huge graph touches a handful of
+edges.  The table renderer streams too, so even unlimited queries emit
+output incrementally instead of materializing every row up front.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Iterable, Iterator
 
 from repro.datasets import figure1_graph
 from repro.errors import ReproError
 from repro.extensions.json_export import result_to_json
-from repro.gpml.engine import MatchResult, match
+from repro.gpml.engine import BindingRow, MatchResult, _to_ids, match_iter, prepare
 from repro.gpml.explain import explain, explain_plan
 from repro.graph.serialization import graph_from_json
 
@@ -31,15 +40,23 @@ def _load_graph(path: str | None):
         return graph_from_json(handle.read())
 
 
-def _render_table(result: MatchResult) -> str:
-    if not result.variables:
-        return f"{len(result)} match(es)"
-    header = " | ".join(result.variables)
-    lines = [header, "-" * len(header)]
-    for row in result.to_dicts():
-        lines.append(" | ".join(str(row[name]) for name in result.variables))
-    lines.append(f"({len(result)} row(s))")
-    return "\n".join(lines)
+def _render_table_lines(
+    variables: list[str], rows: Iterable[BindingRow]
+) -> Iterator[str]:
+    """Stream table lines: header, one line per row, then the count."""
+    count = 0
+    if not variables:
+        for _ in rows:
+            count += 1
+        yield f"{count} match(es)"
+        return
+    header = " | ".join(variables)
+    yield header
+    yield "-" * len(header)
+    for row in rows:
+        count += 1
+        yield " | ".join(str(_to_ids(row[name])) for name in variables)
+    yield f"({count} row(s))"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -57,13 +74,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: table)",
     )
     parser.add_argument(
+        "--limit", type=int, metavar="N", default=None,
+        help="deliver at most N rows; the streaming engine stops the "
+        "search as soon as the budget is satisfied",
+    )
+    parser.add_argument(
+        "--first", action="store_true",
+        help="shorthand for --limit 1 (early-terminating existence probe)",
+    )
+    parser.add_argument(
         "--explain", action="store_true",
         help="print the execution pipeline instead of running the query",
     )
     parser.add_argument(
         "--explain-plan", action="store_true",
         help="print the cost-based plan (anchors, indexes, estimated "
-        "cardinalities, join order) for the query against the graph",
+        "cardinalities, join order, streaming/blocking pipeline stages) "
+        "for the query against the graph",
     )
     return parser
 
@@ -72,6 +99,10 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     # shells prefer double quotes; GPML strings use single quotes
     query = args.query.replace('"', "'")
+    limit = 1 if args.first else args.limit
+    if limit is not None and limit < 0:
+        print("error: --limit must be non-negative", file=sys.stderr)
+        return 1
     try:
         if args.explain:
             print(explain(query))
@@ -80,15 +111,18 @@ def main(argv: list[str] | None = None) -> int:
         if args.explain_plan:
             print(explain_plan(graph, query))
             return 0
-        result = match(graph, query)
+        prepared = prepare(query)
+        rows = match_iter(graph, prepared, limit=limit)
         if args.format == "json":
+            result = MatchResult(rows=list(rows), variables=prepared.visible_variables())
             print(result_to_json(result))
         elif args.format == "paths":
-            for row in result.rows:
+            for row in rows:
                 for path in row.paths:
                     print(path)
         else:
-            print(_render_table(result))
+            for line in _render_table_lines(prepared.visible_variables(), rows):
+                print(line)
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -5,7 +5,12 @@ isomorphic match modes: for example, an edge-isomorphic match requires
 all edges matched across all constituent path patterns in the graph
 pattern to differ from each other."
 
-These filters post-process a :class:`~repro.gpml.engine.MatchResult`:
+These are per-row predicates, so they compose with the streaming
+pipeline: :func:`iter_edge_isomorphic` / :func:`iter_node_isomorphic`
+filter any iterable of binding rows lazily (e.g. the output of
+:func:`~repro.gpml.engine.match_iter`), and the materializing
+``filter_*`` wrappers post-process a whole
+:class:`~repro.gpml.engine.MatchResult`:
 
 * **edge-isomorphic** — all edge occurrences across all matched paths of
   a row are pairwise distinct (Cypher's relationship isomorphism),
@@ -15,19 +20,33 @@ These filters post-process a :class:`~repro.gpml.engine.MatchResult`:
 
 from __future__ import annotations
 
-from repro.gpml.engine import MatchResult
+from typing import Iterable, Iterator
+
+from repro.gpml.engine import BindingRow, MatchResult
+
+
+def iter_edge_isomorphic(rows: Iterable[BindingRow]) -> Iterator[BindingRow]:
+    """Lazily keep rows whose paths never repeat an edge (streaming)."""
+    return (row for row in rows if _distinct_across(row, edges=True))
+
+
+def iter_node_isomorphic(rows: Iterable[BindingRow]) -> Iterator[BindingRow]:
+    """Lazily keep rows whose paths never repeat a node (streaming)."""
+    return (row for row in rows if _distinct_across(row, edges=False))
 
 
 def filter_edge_isomorphic(result: MatchResult) -> MatchResult:
     """Keep rows whose paths never repeat an edge, across path patterns."""
-    rows = [row for row in result.rows if _distinct_across(row, edges=True)]
-    return MatchResult(rows=rows, variables=result.variables)
+    return MatchResult(
+        rows=list(iter_edge_isomorphic(result.rows)), variables=result.variables
+    )
 
 
 def filter_node_isomorphic(result: MatchResult) -> MatchResult:
     """Keep rows whose paths never repeat a node, across path patterns."""
-    rows = [row for row in result.rows if _distinct_across(row, edges=False)]
-    return MatchResult(rows=rows, variables=result.variables)
+    return MatchResult(
+        rows=list(iter_node_isomorphic(result.rows)), variables=result.variables
+    )
 
 
 def _distinct_across(row, edges: bool) -> bool:

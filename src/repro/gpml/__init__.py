@@ -17,13 +17,27 @@ This package implements the paper's core contribution end to end:
   :func:`~repro.gpml.engine.prepare`.
 """
 
-from repro.gpml.engine import MatchResult, PreparedQuery, match, prepare
+from repro.gpml.engine import (
+    MatchResult,
+    PreparedQuery,
+    exists,
+    first,
+    match,
+    match_iter,
+    prepare,
+)
 from repro.gpml.parser import parse_expression, parse_match, parse_path_pattern
+from repro.gpml.streaming import PipelineStats, RowBudget
 
 __all__ = [
     "MatchResult",
+    "PipelineStats",
     "PreparedQuery",
+    "RowBudget",
+    "exists",
+    "first",
     "match",
+    "match_iter",
     "parse_expression",
     "parse_match",
     "parse_path_pattern",

@@ -1,4 +1,4 @@
-"""Top-level GPML engine: prepare and match.
+"""Top-level GPML engine: prepare and match, streaming end to end.
 
 Pipeline (mirroring Section 6 of the paper):
 
@@ -12,6 +12,22 @@ Pipeline (mirroring Section 6 of the paper):
 8. **join** path patterns on shared singleton variables and apply the
    final WHERE postfilter (Sections 4.3, 6.6),
 9. materialize rows with element handles, group lists and Path values.
+
+Stages 5-9 form a lazy, pull-based pipeline: :func:`match_iter` yields
+:class:`BindingRow` objects as the underlying product-graph search
+discovers them, and a :class:`~repro.gpml.streaming.RowBudget` threaded
+down to the matcher lets consumers (GQL ``LIMIT``, :func:`exists`,
+``graph_table(..., limit=N)``) terminate the NFA search early.  Stages
+that cannot stream — selectors, KEEP — materialize exactly their own
+input and nothing more; see :func:`repro.gpml.streaming.classify_pipeline`
+for the full streaming/blocking classification rendered by EXPLAIN.
+
+Row order is deterministic: per pattern, solutions come out in discovery
+order of the (planned) search from sorted start candidates; selectors
+refine per endpoint partition by the documented (length, walk, content)
+tie-break; multi-pattern rows follow textual nested-loop order.  The
+materializing wrappers :func:`match` / ``execute_gql`` produce exactly
+``list()`` of their streaming counterparts.
 
 ``match(graph, "MATCH ...")`` is the one-call public entry point;
 ``prepare`` caches everything up to step 4 for repeated execution.
@@ -34,12 +50,13 @@ from repro.gpml.analysis import (
     analyze,
 )
 from repro.gpml.automaton import PatternNFA, compile_path_pattern
-from repro.gpml.bindings import ReducedBinding, deduplicate, reduce_binding
+from repro.gpml.bindings import ReducedBinding, reduce_binding
 from repro.gpml.expr import EvalContext
 from repro.gpml.matcher import Matcher, MatcherConfig
 from repro.gpml.normalize import normalize_graph_pattern
 from repro.gpml.parser import parse_match
 from repro.gpml.selectors import apply_selector
+from repro.gpml.streaming import PipelineStats, RowBudget
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.path import Path
 from repro.planner.anchor import RIGHT, reverse_binding
@@ -115,6 +132,15 @@ class MatchResult:
     def __bool__(self) -> bool:
         return bool(self.rows)
 
+    def first(self) -> Optional[BindingRow]:
+        """The first row, or None when the result is empty.
+
+        On an already-materialized result this is trivial; use the
+        module-level :func:`first` to get the first row *without*
+        materializing (the streaming pipeline stops after one row).
+        """
+        return self.rows[0] if self.rows else None
+
     def column(self, name: str) -> list[Any]:
         return [row[name] for row in self.rows]
 
@@ -187,16 +213,82 @@ def match(
     query: "str | ast.GraphPattern | PreparedQuery",
     config: MatcherConfig | None = None,
 ) -> MatchResult:
-    """Evaluate a MATCH statement and return the binding rows."""
+    """Evaluate a MATCH statement and return the binding rows.
+
+    A thin materializing wrapper over :func:`match_iter`: the result is
+    exactly ``list(match_iter(graph, query, config))``, in the same order.
+    """
+    prepared = query if isinstance(query, PreparedQuery) else prepare(query)
+    return MatchResult(
+        rows=list(match_iter(graph, prepared, config)),
+        variables=prepared.visible_variables(),
+    )
+
+
+def match_iter(
+    graph: PropertyGraph,
+    query: "str | ast.GraphPattern | PreparedQuery",
+    config: MatcherConfig | None = None,
+    *,
+    limit: Optional[int] = None,
+    budget: Optional[RowBudget] = None,
+    stats: Optional[PipelineStats] = None,
+) -> Iterator[BindingRow]:
+    """Evaluate a MATCH statement as a lazy stream of binding rows.
+
+    Rows come out in the same deterministic order :func:`match` returns
+    them, but the underlying NFA search only runs as far as the consumer
+    pulls.  ``limit`` caps the number of delivered rows and — through a
+    :class:`~repro.gpml.streaming.RowBudget` — stops the search itself
+    once satisfied.  Callers that filter rows further downstream (GQL
+    DISTINCT, host-language predicates) pass their own ``budget`` instead
+    and call :meth:`RowBudget.take` per row they actually deliver.
+
+    ``stats``, when given, accumulates matcher step/match/row counters.
+    """
+    if limit is not None and budget is not None:
+        raise GpmlEvaluationError(
+            "match_iter takes limit or budget, not both: a caller-supplied "
+            "budget counts its own delivered rows"
+        )
     prepared = query if isinstance(query, PreparedQuery) else prepare(query)
     config = config or MatcherConfig()
-
+    own_budget = budget is None
+    if own_budget:
+        budget = RowBudget(limit)
     plan = plan_query(graph, prepared) if config.use_planner else None
-    per_pattern = [
-        solve_path_pattern(graph, prepared, index, config, plan)
-        for index in range(prepared.num_path_patterns)
-    ]
-    return assemble_result(graph, prepared, per_pattern, plan)
+
+    def rows() -> Iterator[BindingRow]:
+        if budget.satisfied:
+            return
+        for row in _match_stream(graph, prepared, config, plan, budget, stats):
+            if own_budget:
+                budget.take()
+            if stats is not None:
+                stats.rows += 1
+            yield row
+            if budget.satisfied:
+                return
+
+    return rows()
+
+
+def first(
+    graph: PropertyGraph,
+    query: "str | ast.GraphPattern | PreparedQuery",
+    config: MatcherConfig | None = None,
+) -> Optional[BindingRow]:
+    """The first binding row, terminating the search early — or None."""
+    return next(match_iter(graph, query, config, limit=1), None)
+
+
+def exists(
+    graph: PropertyGraph,
+    query: "str | ast.GraphPattern | PreparedQuery",
+    config: MatcherConfig | None = None,
+) -> bool:
+    """Whether the pattern has at least one match (early-terminating)."""
+    return first(graph, query, config) is not None
 
 
 def assemble_result(
@@ -207,9 +299,11 @@ def assemble_result(
 ) -> MatchResult:
     """Join per-pattern solutions, apply the postfilter, build rows.
 
-    Shared by the production engine and the Section 6 reference engine.
-    The optional plan supplies the join order; rows always come out in
-    the textual nested-loop order regardless.
+    The materializing assembly used by the Section 6 reference engine and
+    the naive baselines (the production engine streams — see
+    :func:`_match_stream`); both produce the same textual nested-loop row
+    order.  The optional plan supplies the join order; rows always come
+    out in the textual nested-loop order regardless.
     """
     join_order = plan.join_order if plan is not None else None
     rows = _join_patterns(graph, prepared, per_pattern, join_order)
@@ -297,19 +391,28 @@ def _select_rows(graph: PropertyGraph, partition: list["BindingRow"], keep) -> l
     raise GpmlEvaluationError(f"unknown KEEP selector {kind!r}")
 
 
-def solve_path_pattern(
+def iter_solve_path_pattern(
     graph: PropertyGraph,
     prepared: PreparedQuery,
     index: int,
     config: MatcherConfig,
     plan: Optional[QueryPlan] = None,
-) -> list[ReducedBinding]:
-    """Solutions (reduced, deduplicated, selected) of one path pattern.
+    budget: Optional[RowBudget] = None,
+    stats: Optional[PipelineStats] = None,
+) -> Iterator[ReducedBinding]:
+    """Solutions (reduced, deduplicated, selected) of one path pattern,
+    streamed lazily in the engine's deterministic discovery order.
 
     With a plan, the search starts from the planned candidate set and —
     for a right anchor — runs the reversed pattern, mapping each accepted
     binding back to forward orientation before reduction, so everything
     downstream (dedup, selectors, joins) is orientation-blind.
+
+    Reduction and deduplication stream (incremental seen-set); a selector
+    is a pipeline breaker — it materializes this pattern's solution set,
+    then yields its selection.  ``budget`` must only be given when this
+    stream feeds the terminal consumer directly (never for a hash-join
+    build side, which has to be complete).
     """
     path = prepared.normalized.paths[index]
     analysis = prepared.analysis.paths[index]
@@ -328,12 +431,17 @@ def solve_path_pattern(
             pattern_plan.reversed_path.pattern,
             config,
             start_candidates=pattern_plan.start_candidates(graph),
+            budget=budget,
+            stats=stats,
         )
     else:
         start = (
             pattern_plan.start_candidates(graph) if pattern_plan is not None else None
         )
-        matcher = Matcher(graph, nfa, path.pattern, config, start_candidates=start)
+        matcher = Matcher(
+            graph, nfa, path.pattern, config,
+            start_candidates=start, budget=budget, stats=stats,
+        )
 
     strategy = analysis.strategy
     if strategy == ENUMERATE:
@@ -348,17 +456,47 @@ def solve_path_pattern(
     else:
         raise GpmlEvaluationError(f"unknown strategy {strategy!r}")
 
-    if pattern_plan is not None:
-        pattern_plan.observed_candidates = matcher.initial_candidate_count
-    if reversed_run:
-        raw = [reverse_binding(binding) for binding in raw]
+    def solutions() -> Iterator[ReducedBinding]:
+        seen: set[tuple] = set()
+        try:
+            for binding in raw:
+                if reversed_run:
+                    binding = reverse_binding(binding)
+                reduced = reduce_binding(
+                    binding, analysis.group_vars, analysis.anonymous_vars
+                )
+                key = reduced.dedup_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield reduced
+        finally:
+            if pattern_plan is not None:
+                pattern_plan.observed_candidates = matcher.initial_candidate_count
 
-    reduced = [
-        reduce_binding(b, analysis.group_vars, analysis.anonymous_vars) for b in raw
-    ]
-    solutions = deduplicate(reduced)
-    solutions.sort(key=lambda s: s.sort_key())
-    return apply_selector(path.selector, solutions, graph, config.default_edge_cost)
+    if path.selector is None:
+        return solutions()
+
+    def selected() -> Iterator[ReducedBinding]:
+        # Pipeline breaker: selectors choose per complete endpoint
+        # partition, so this pattern's solution set must be materialized.
+        complete = list(solutions())
+        yield from apply_selector(
+            path.selector, complete, graph, config.default_edge_cost
+        )
+
+    return selected()
+
+
+def solve_path_pattern(
+    graph: PropertyGraph,
+    prepared: PreparedQuery,
+    index: int,
+    config: MatcherConfig,
+    plan: Optional[QueryPlan] = None,
+) -> list[ReducedBinding]:
+    """Materialized solutions of one path pattern (see the iter variant)."""
+    return list(iter_solve_path_pattern(graph, prepared, index, config, plan))
 
 
 # ----------------------------------------------------------------------
@@ -466,3 +604,110 @@ def _materialize(
     if path_var is not None:
         values[path_var] = path_obj
     return values, path_obj
+
+
+# ----------------------------------------------------------------------
+# The streaming pipeline (pull-based; used by match / match_iter)
+# ----------------------------------------------------------------------
+def _singleton_vars(prepared: PreparedQuery, index: int) -> set[str]:
+    return {
+        name
+        for name, info in prepared.analysis.paths[index].vars.items()
+        if not info.anonymous and not info.group
+    }
+
+
+def _iter_join_rows(
+    graph: PropertyGraph,
+    prepared: PreparedQuery,
+    config: MatcherConfig,
+    plan: Optional[QueryPlan],
+    budget: Optional[RowBudget],
+    stats: Optional[PipelineStats],
+) -> Iterator[BindingRow]:
+    """Stream joined binding rows in textual nested-loop order.
+
+    The textual-first pattern is the streaming probe side; every other
+    pattern is materialized once into a hash table keyed on the singleton
+    variables it shares with the textual prefix (a pipeline breaker, like
+    any hash-join build).  Probing a bucket preserves the build pattern's
+    solution order, so the emitted rows equal the materializing engine's
+    nested-loop order row for row — the row budget therefore only ever
+    cuts a suffix.
+    """
+    num = prepared.num_path_patterns
+    first_solutions = iter_solve_path_pattern(
+        graph, prepared, 0, config, plan, budget, stats
+    )
+    path0 = prepared.normalized.paths[0]
+    analysis0 = prepared.analysis.paths[0]
+    if num == 1:
+        for solution in first_solutions:
+            values, path_obj = _materialize(graph, solution, analysis0, path0.path_var)
+            yield BindingRow(values, [path_obj])
+        return
+
+    # Build sides: one bucket table per non-first pattern, in textual
+    # order, keyed on the variables shared with the patterns before it.
+    builds: list[tuple[list[str], dict[tuple, list[tuple[dict, Path]]]]] = []
+    bound_vars = _singleton_vars(prepared, 0)
+    for index in range(1, num):
+        shared = sorted(_singleton_vars(prepared, index) & bound_vars)
+        path = prepared.normalized.paths[index]
+        path_analysis = prepared.analysis.paths[index]
+        buckets: dict[tuple, list[tuple[dict, Path]]] = {}
+        for solution in iter_solve_path_pattern(
+            graph, prepared, index, config, plan, None, stats
+        ):
+            values, path_obj = _materialize(graph, solution, path_analysis, path.path_var)
+            key = tuple(_join_key(values.get(name)) for name in shared)
+            buckets.setdefault(key, []).append((values, path_obj))
+        if not buckets:
+            return  # an empty pattern empties the whole join
+        builds.append((shared, buckets))
+        bound_vars |= _singleton_vars(prepared, index)
+
+    def expand(
+        values: dict[str, Any], paths: list[Path], level: int
+    ) -> Iterator[BindingRow]:
+        if level == len(builds):
+            yield BindingRow(values, list(paths))
+            return
+        shared, buckets = builds[level]
+        key = tuple(_join_key(values.get(name)) for name in shared)
+        for build_values, path_obj in buckets.get(key, ()):
+            merged = dict(values)
+            merged.update(build_values)
+            paths.append(path_obj)
+            yield from expand(merged, paths, level + 1)
+            paths.pop()
+
+    for solution in first_solutions:
+        values0, path_obj0 = _materialize(graph, solution, analysis0, path0.path_var)
+        yield from expand(values0, [path_obj0], 0)
+
+
+def _match_stream(
+    graph: PropertyGraph,
+    prepared: PreparedQuery,
+    config: MatcherConfig,
+    plan: Optional[QueryPlan],
+    budget: Optional[RowBudget],
+    stats: Optional[PipelineStats],
+) -> Iterator[BindingRow]:
+    """Joined rows through the postfilter and KEEP, still lazy."""
+    rows: Iterator[BindingRow] = _iter_join_rows(
+        graph, prepared, config, plan, budget, stats
+    )
+    condition = prepared.normalized.where
+    if condition is not None:
+        rows = (
+            row
+            for row in rows
+            if condition.truth(EvalContext(bindings=row.values, graph=graph))
+        )
+    if prepared.normalized.keep is not None:
+        # Pipeline breaker: KEEP selects per endpoint partition among the
+        # rows that survived the final WHERE, so it needs all of them.
+        rows = iter(_apply_keep(graph, list(rows), prepared.normalized.keep))
+    return rows

@@ -2,19 +2,24 @@
 
 Surfaces each pipeline stage of the engine — the normalized pattern (the
 paper's Section 6.2 output), the variable classification (Sections
-4.4/4.6), the compiled automaton, and the chosen search strategy with the
-reasoning behind it (Section 5 termination analysis).
+4.4/4.6), the compiled automaton, the chosen search strategy with the
+reasoning behind it (Section 5 termination analysis), and the
+streaming/blocking classification of every execution stage (which stages
+emit rows as their input produces them, and which are pipeline breakers
+that must consume their whole input first).
 
 :func:`explain_plan` is the cost-based companion: given a concrete graph
 it renders the planner's decisions — chosen anchor side, access path
 (property index / label scan / full scan), estimated cardinalities, the
-scored alternatives, and the cross-pattern join order.
+scored alternatives, the cross-pattern join order — plus the same
+pipeline classification.
 """
 
 from __future__ import annotations
 
 from repro.gpml import ast
 from repro.gpml.engine import PreparedQuery, prepare
+from repro.gpml.streaming import classify_pipeline, render_pipeline
 from repro.graph.model import PropertyGraph
 from repro.planner.plan import plan_query
 
@@ -63,6 +68,7 @@ def explain(query: "str | PreparedQuery") -> str:
     join_vars = prepared.analysis.join_vars
     if join_vars:
         lines.append(f"cross-pattern join on: {', '.join(sorted(join_vars))}")
+    lines.extend(render_pipeline(classify_pipeline(prepared)))
     return "\n".join(lines)
 
 

@@ -7,22 +7,39 @@ own narrowing of the leftmost pinned element (labels plus sargable
 property equalities).
 A *run* tracks the current graph node, NFA state, quantifier counters,
 iteration annotations, restrictor scopes, bindings, the walked path, and
-multiset tags.  Four search strategies cover the semantics of Section 5:
+multiset tags.  Four search strategies cover the semantics of Section 5;
+all four are **generators** that yield accepted bindings as the search
+discovers them, so downstream pipeline stages can pull lazily and a
+satisfied :class:`~repro.gpml.streaming.RowBudget` stops the search
+itself:
 
-* :func:`enumerate_all` — exhaustive DFS.  Used when the pattern is
-  bounded, or when every unbounded quantifier sits inside a restrictor
-  scope (then the used-edge/visited-node sets make the search finite).
+* :func:`enumerate_all` — exhaustive DFS, yielding each accepted binding
+  the moment it is found.  Used when the pattern is bounded, or when
+  every unbounded quantifier sits inside a restrictor scope (then the
+  used-edge/visited-node sets make the search finite).
 * :func:`search_shortest` — breadth-first by path length with product-
-  state pruning.  Counter saturation keeps the product space finite, so
-  the search terminates even without restrictors; later arrivals at an
+  state pruning, yielding per completed BFS layer (the layer boundary is
+  the earliest emission point at which all strictly-shorter matches are
+  known).  Counter saturation keeps the product space finite, so the
+  search terminates even without restrictors; later arrivals at an
   already-visited product state cannot contribute new *minimal* matches
   (the pruning key includes singleton bindings and scope memories, which
   are the only run components that can block a future suffix).
 * :func:`search_k_shortest` — length-ordered search keeping up to *k*
-  distinct path lengths per product state; sound for ANY k / SHORTEST k /
-  SHORTEST k GROUP by the standard k-shortest-walks argument.
+  distinct path lengths per product state, also yielding per layer;
+  sound for ANY k / SHORTEST k / SHORTEST k GROUP by the standard
+  k-shortest-walks argument.
 * :func:`search_cheapest` — Dijkstra over non-negative edge costs for the
-  cheapest-path extension (Section 7.1 Language Opportunity).
+  cheapest-path extension (Section 7.1 Language Opportunity).  Accepted
+  bindings are held in a small heap and emitted in final cost order as
+  soon as the frontier's minimum cost passes them, reproducing exactly
+  the stable sort-by-cost order of a materialized run.
+
+The ``max_results`` safety budget is charged per *emitted* binding, so a
+consumer that stops early (``LIMIT``, ``exists()``) never trips it; an
+exhaustive consumer observes the same error a materializing run would.
+(:func:`search_cheapest` charges at acceptance instead — see its
+docstring — because its emissions lag behind the search.)
 
 Known engine refinements (documented deviations, all affecting only
 pathological queries): iterations of a quantifier that consume no edges
@@ -35,7 +52,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Iterator, Optional
 
 from repro.errors import BudgetExceededError, GpmlEvaluationError
 from repro.gpml import ast
@@ -52,6 +69,7 @@ from repro.gpml.automaton import (
 from repro.gpml.bindings import Annotation, ElementaryBinding, PathBinding
 from repro.gpml.expr import EvalContext
 from repro.gpml.label_expr import LabelAtom
+from repro.gpml.streaming import PipelineStats, RowBudget
 from repro.graph.model import PropertyGraph
 from repro.planner.indexes import initial_node_candidates
 from repro.values import NULL, is_null
@@ -264,12 +282,19 @@ class Matcher:
         pattern: ast.Pattern,
         config: MatcherConfig | None = None,
         start_candidates: Optional[Iterable[str]] = None,
+        *,
+        budget: Optional[RowBudget] = None,
+        stats: Optional[PipelineStats] = None,
     ):
         self.graph = graph
         self.nfa = nfa
         self.pattern = pattern
         self.config = config or MatcherConfig()
         self._steps = 0
+        #: cooperative cancellation: checked after every emitted binding
+        self._budget = budget
+        #: observability counters shared across the whole pipeline
+        self._stats = stats
         #: planner-supplied start nodes; None = derive from the pattern
         self._start_candidates = (
             None if start_candidates is None else list(start_candidates)
@@ -278,74 +303,145 @@ class Matcher:
         #: for EXPLAIN PLAN, benchmarks and the planner's regression tests)
         self.initial_candidate_count = 0
 
+    @property
+    def steps(self) -> int:
+        """Edge expansions examined so far (the max_steps unit)."""
+        return self._steps
+
     # -- public strategies ----------------------------------------------
-    def enumerate_all(self) -> list[PathBinding]:
-        accepts: list[PathBinding] = []
+    def enumerate_all(self) -> Iterator[PathBinding]:
+        """DFS over the product graph, yielding accepts as discovered.
+
+        Start candidates are explored one at a time (each drained to
+        completion before the next is seeded), so the first row of a
+        ``LIMIT``/``exists`` probe arrives after touching only as many
+        candidates as it takes to find a match — not all of them.
+        """
+        budget = self._budget
+        emitted = 0
         stack: list[_Run] = []
         for run in self._initial_runs():
-            self._closure(run, stack, accepts)
-        while stack:
-            run = stack.pop()
-            for new_run in self._edge_successors(run):
-                self._closure(new_run, stack, accepts)
-            self._check_budget(len(accepts))
-        return accepts
+            for binding in self._closure(run, stack):
+                emitted += 1
+                self._check_budget(emitted)
+                yield binding
+                if budget is not None and budget.satisfied:
+                    return
+            while stack:
+                current = stack.pop()
+                for new_run in self._edge_successors(current):
+                    for binding in self._closure(new_run, stack):
+                        emitted += 1
+                        self._check_budget(emitted)
+                        yield binding
+                        if budget is not None and budget.satisfied:
+                            return
 
-    def search_shortest(self) -> list[PathBinding]:
-        accepts: list[PathBinding] = []
+    def search_shortest(self) -> Iterator[PathBinding]:
+        """Layered BFS, yielding each completed layer's accepts in turn."""
+        budget = self._budget
+        emitted = 0
         visited: dict[tuple, int] = {}
         frontier: list[_Run] = []
+        layer: list[PathBinding] = []
         for run in self._initial_runs():
-            self._closure(run, frontier, accepts)
+            layer.extend(self._closure(run, frontier))
         frontier = self._prune_layer(frontier, visited, 0)
+        for binding in layer:
+            emitted += 1
+            self._check_budget(emitted)
+            yield binding
+            if budget is not None and budget.satisfied:
+                return
         depth = 0
         while frontier:
             depth += 1
+            layer = []
             next_frontier: list[_Run] = []
             for run in frontier:
                 for new_run in self._edge_successors(run):
-                    self._closure(new_run, next_frontier, accepts)
+                    layer.extend(self._closure(new_run, next_frontier))
             frontier = self._prune_layer(next_frontier, visited, depth)
-            self._check_budget(len(accepts))
-        return accepts
+            for binding in layer:
+                emitted += 1
+                self._check_budget(emitted)
+                yield binding
+                if budget is not None and budget.satisfied:
+                    return
 
-    def search_k_shortest(self, k: int) -> list[PathBinding]:
-        accepts: list[PathBinding] = []
+    def search_k_shortest(self, k: int) -> Iterator[PathBinding]:
+        budget = self._budget
+        emitted = 0
         allowed: dict[tuple, set[int]] = {}
         max_depth = self.config.max_depth
         if max_depth is None:
             max_depth = (self.graph.num_nodes * self.nfa.num_states + 1) * (k + 1)
         frontier: list[_Run] = []
+        layer: list[PathBinding] = []
         for run in self._initial_runs():
-            self._closure(run, frontier, accepts)
+            layer.extend(self._closure(run, frontier))
         frontier = self._prune_layer_k(frontier, allowed, 0, k)
+        for binding in layer:
+            emitted += 1
+            self._check_budget(emitted)
+            yield binding
+            if budget is not None and budget.satisfied:
+                return
         depth = 0
         while frontier and depth < max_depth:
             depth += 1
+            layer = []
             next_frontier: list[_Run] = []
             for run in frontier:
                 for new_run in self._edge_successors(run):
-                    self._closure(new_run, next_frontier, accepts)
+                    layer.extend(self._closure(new_run, next_frontier))
             frontier = self._prune_layer_k(next_frontier, allowed, depth, k)
-            self._check_budget(len(accepts))
-        return accepts
+            for binding in layer:
+                emitted += 1
+                self._check_budget(emitted)
+                yield binding
+                if budget is not None and budget.satisfied:
+                    return
 
-    def search_cheapest(self, k: int, cost_property: str) -> list[PathBinding]:
-        accepts: list[tuple[float, PathBinding]] = []
+    def search_cheapest(self, k: int, cost_property: str) -> Iterator[PathBinding]:
+        """Dijkstra, yielding accepts in final (stable) cost order.
+
+        An accepted binding of cost *c* becomes emittable once the run
+        queue's minimum cost reaches *c*: every future accept costs at
+        least that much, and equal-cost accepts arriving later carry a
+        later sequence number, so the emission order equals the stable
+        sort-by-cost of a fully materialized run.
+
+        Unlike the other strategies, ``max_results`` is charged at
+        *acceptance* (when a binding enters the pending heap), not at
+        emission: emission lags acceptance by up to the whole search, so
+        an emission-time check would let a runaway query buffer far more
+        than the budget before erroring.  Cheapest-path queries always
+        feed a blocking selector, so nothing streams past it anyway.
+        """
+        budget = self._budget
+        accepted = 0
+        #: accepted-but-not-yet-emittable bindings, ordered (cost, seq)
+        pending: list[tuple[float, int, PathBinding]] = []
         best: dict[tuple, list[float]] = {}
         queue: list[tuple[float, int, _Run]] = []
         seq = 0
         sink: list[_Run] = []
-        collected: list[PathBinding] = []
         for run in self._initial_runs():
-            self._closure(run, sink, collected)
-        for binding in collected:
-            accepts.append((0.0, binding))
+            for binding in self._closure(run, sink):
+                accepted += 1
+                self._check_budget(accepted)
+                heapq.heappush(pending, (0.0, accepted, binding))
         for run in sink:
             heapq.heappush(queue, (run.cost, seq, run))
             seq += 1
         while queue:
             cost, _, run = heapq.heappop(queue)
+            while pending and pending[0][0] <= cost:
+                _, _, binding = heapq.heappop(pending)
+                yield binding
+                if budget is not None and budget.satisfied:
+                    return
             key = run.prune_key()
             kept = best.setdefault(key, [])
             if cost not in kept:
@@ -354,16 +450,18 @@ class Matcher:
                 kept.append(cost)
             for new_run in self._edge_successors(run, cost_property=cost_property):
                 nested: list[_Run] = []
-                nested_accepts: list[PathBinding] = []
-                self._closure(new_run, nested, nested_accepts)
-                for binding in nested_accepts:
-                    accepts.append((new_run.cost, binding))
+                for binding in self._closure(new_run, nested):
+                    accepted += 1
+                    self._check_budget(accepted)
+                    heapq.heappush(pending, (new_run.cost, accepted, binding))
                 for nr in nested:
                     heapq.heappush(queue, (nr.cost, seq, nr))
                     seq += 1
-            self._check_budget(len(accepts))
-        accepts.sort(key=lambda pair: pair[0])
-        return [binding for _, binding in accepts]
+        while pending:
+            _, _, binding = heapq.heappop(pending)
+            yield binding
+            if budget is not None and budget.satisfied:
+                return
 
     # -- initialization --------------------------------------------------
     def _initial_runs(self) -> Iterable[_Run]:
@@ -394,8 +492,8 @@ class Matcher:
         return candidates
 
     # -- epsilon closure --------------------------------------------------
-    def _closure(self, run: _Run, frontier: list[_Run], accepts: list[PathBinding]) -> None:
-        """Expand epsilon transitions; deposit edge-ready runs and accepts.
+    def _closure(self, run: _Run, frontier: list[_Run]) -> Iterator[PathBinding]:
+        """Expand epsilon transitions; deposit edge-ready runs, yield accepts.
 
         The cycle guard allows revisiting a product state with *different*
         bindings (distinct union branches merging), but cuts revisits whose
@@ -423,7 +521,9 @@ class Matcher:
             if current.state == self.nfa.accept:
                 binding = self._accept(current)
                 if binding is not None:
-                    accepts.append(binding)
+                    if self._stats is not None:
+                        self._stats.matches += 1
+                    yield binding
             if self.nfa.edges[current.state]:
                 frontier.append(current)
             for eps in self.nfa.epsilons[current.state]:
@@ -548,6 +648,8 @@ class Matcher:
                 if not pattern.orientation.admits(inc.direction):
                     continue
                 self._steps += 1
+                if self._stats is not None:
+                    self._stats.steps += 1
                 if self._steps > self.config.max_steps:
                     raise BudgetExceededError(
                         f"matcher exceeded max_steps={self.config.max_steps}"

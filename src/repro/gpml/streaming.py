@@ -1,0 +1,202 @@
+"""Streaming-pipeline primitives: row budgets, stats, stage classification.
+
+The execution stack is a lazy, pull-based pipeline: the matcher yields
+accepted bindings as the product-graph search discovers them, and every
+downstream stage is either *streaming* (emits rows as its input produces
+them — reduction, WALK dedup, hash-join probing, WHERE filters) or a
+*pipeline breaker* (must consume its whole input before emitting anything
+— selectors, KEEP, ORDER BY, vertical aggregation).
+
+Three small primitives make early termination explicit:
+
+* :class:`RowBudget` — a cooperative cancellation token.  The terminal
+  consumer calls :meth:`RowBudget.take` once per row it actually delivers;
+  producers poll :attr:`RowBudget.satisfied` and abandon the search.  This
+  is how GQL ``LIMIT``, ``Session.exists()`` and ``graph_table(...,
+  limit=N)`` stop the underlying NFA search itself.  It is distinct from
+  the *error-raising* safety budgets (``MatcherConfig.max_steps`` /
+  ``max_results``), which exist to catch pathological queries.
+* :class:`PipelineStats` — observability counters (edge expansions,
+  raw matches, delivered rows) for benchmarks and tests that assert early
+  termination is real.
+* :func:`classify_pipeline` — the static streaming/blocking
+  classification of every stage of a prepared query, rendered by
+  ``EXPLAIN`` and ``EXPLAIN PLAN``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpml.analysis import CHEAPEST, ENUMERATE, K_SEARCH, SHORTEST
+
+#: stage modes
+STREAMING = "streaming"
+BLOCKING = "blocking"
+
+
+class RowBudget:
+    """Cooperative cancellation token for early termination.
+
+    ``needed=None`` means unlimited: :attr:`satisfied` is never true and
+    the pipeline runs to exhaustion.  Otherwise the terminal stage calls
+    :meth:`take` per delivered row, and every producer that polls
+    :attr:`satisfied` stops as soon as the consumer has enough.  Because
+    the token counts *delivered* rows (after dedup, joins, filters and
+    DISTINCT), aborting a satisfied search can only suppress rows beyond
+    the already-delivered prefix — never change it.
+    """
+
+    __slots__ = ("needed", "taken")
+
+    def __init__(self, needed: Optional[int] = None):
+        if needed is not None and needed < 0:
+            raise ValueError(f"row budget must be non-negative, got {needed}")
+        self.needed = needed
+        self.taken = 0
+
+    @property
+    def satisfied(self) -> bool:
+        return self.needed is not None and self.taken >= self.needed
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self.needed is None:
+            return None
+        return max(self.needed - self.taken, 0)
+
+    def take(self, count: int = 1) -> None:
+        self.taken += count
+
+    def __repr__(self) -> str:
+        return f"RowBudget(needed={self.needed}, taken={self.taken})"
+
+
+@dataclass
+class PipelineStats:
+    """Counters recorded by a streaming execution.
+
+    ``steps`` is the matcher's edge-expansion count (the unit the
+    ``max_steps`` safety budget is measured in), summed over all matchers
+    the query ran; ``matches`` counts raw accepted bindings the searches
+    emitted; ``rows`` counts rows the pipeline delivered to the caller.
+    Benchmarks assert on ``steps`` — wall-clock-free evidence that
+    ``LIMIT 1`` / ``exists()`` explore a fraction of the search space.
+    """
+
+    steps: int = 0
+    matches: int = 0
+    rows: int = 0
+
+
+@dataclass(frozen=True)
+class StageInfo:
+    """One classified stage of the execution pipeline."""
+
+    name: str
+    mode: str  # STREAMING | BLOCKING
+    detail: str = ""
+
+    def describe(self) -> str:
+        detail = f" — {self.detail}" if self.detail else ""
+        return f"[{self.mode}] {self.name}{detail}"
+
+
+#: why each search strategy may stream (emission granularity)
+_SEARCH_DETAIL = {
+    ENUMERATE: "DFS emits each accepted binding as it is discovered",
+    SHORTEST: "BFS emits per completed layer (nondecreasing path length)",
+    K_SEARCH: "layered search emits per completed layer",
+    CHEAPEST: "Dijkstra emits in cost order as the frontier settles",
+}
+
+
+def classify_pipeline(prepared) -> list[StageInfo]:
+    """Classify every stage of a prepared query as streaming or blocking.
+
+    The classification mirrors the actual generator pipeline in
+    :mod:`repro.gpml.engine`: per pattern a search stage, a reduce+dedup
+    stage and (when present) a selector breaker; then the cross-pattern
+    hash join (builds block, the textual-first probe side streams), the
+    final WHERE postfilter, and KEEP.
+    """
+    stages: list[StageInfo] = []
+    num = len(prepared.normalized.paths)
+    for index, (path, analysis) in enumerate(
+        zip(prepared.normalized.paths, prepared.analysis.paths)
+    ):
+        n = index + 1
+        strategy = analysis.strategy
+        stages.append(
+            StageInfo(
+                name=f"pattern #{n} search ({strategy})",
+                mode=STREAMING,
+                detail=_SEARCH_DETAIL.get(strategy, ""),
+            )
+        )
+        stages.append(
+            StageInfo(
+                name=f"pattern #{n} reduce + dedup",
+                mode=STREAMING,
+                detail="incremental seen-set over reduced bindings",
+            )
+        )
+        if path.selector is not None:
+            stages.append(
+                StageInfo(
+                    name=f"pattern #{n} selector {path.selector.kind}",
+                    mode=BLOCKING,
+                    detail="needs complete endpoint partitions",
+                )
+            )
+    if num > 1:
+        for index in range(1, num):
+            stages.append(
+                StageInfo(
+                    name=f"pattern #{index + 1} hash-join build",
+                    mode=BLOCKING,
+                    detail="materializes the build side keyed on shared variables",
+                )
+            )
+        stages.append(
+            StageInfo(
+                name="hash-join probe (pattern #1 outer)",
+                mode=STREAMING,
+                detail="probe side streams in textual nested-loop order",
+            )
+        )
+    if prepared.normalized.where is not None:
+        stages.append(
+            StageInfo(
+                name="postfilter WHERE",
+                mode=STREAMING,
+                detail="per-row predicate",
+            )
+        )
+    if prepared.normalized.keep is not None:
+        stages.append(
+            StageInfo(
+                name=f"KEEP {prepared.normalized.keep.kind}",
+                mode=BLOCKING,
+                detail="selects per endpoint partition after the final WHERE",
+            )
+        )
+    stages.append(
+        StageInfo(
+            name="row delivery",
+            mode=STREAMING,
+            detail="rows surface as the pipeline produces them",
+        )
+    )
+    return stages
+
+
+def render_pipeline(stages: list[StageInfo], indent: str = "  ") -> list[str]:
+    """Uniform text rendering shared by EXPLAIN and EXPLAIN PLAN."""
+    width = max(len(stage.mode) for stage in stages)
+    lines = ["pipeline:"]
+    for stage in stages:
+        detail = f" — {stage.detail}" if stage.detail else ""
+        lines.append(f"{indent}[{stage.mode:<{width}}] {stage.name}{detail}")
+    return lines

@@ -14,7 +14,13 @@ from repro.gql.graph_output import (
     execute_match_as_graph,
     result_graph,
 )
-from repro.gql.query import GqlQuery, GqlResult, parse_gql_query
+from repro.gql.query import (
+    GqlQuery,
+    GqlResult,
+    execute_gql,
+    execute_gql_iter,
+    parse_gql_query,
+)
 from repro.gql.session import GqlSession
 
 __all__ = [
@@ -22,6 +28,8 @@ __all__ = [
     "GqlResult",
     "GqlSession",
     "binding_subgraph",
+    "execute_gql",
+    "execute_gql_iter",
     "execute_match_as_graph",
     "parse_gql_query",
     "result_graph",

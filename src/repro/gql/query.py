@@ -1,5 +1,18 @@
 """GQL read queries: MATCH ... RETURN with ordering, limits, aggregation.
 
+Execution is streaming end to end when the query allows it:
+:func:`execute_gql_iter` yields projected records as the underlying
+pattern search discovers matches, and — when no ORDER BY and no vertical
+aggregate intervenes — pushes a :class:`~repro.gpml.streaming.RowBudget`
+of ``OFFSET + LIMIT`` rows down into the NFA search, so ``LIMIT 1`` on a
+large graph stops after the first match instead of enumerating them all.
+DISTINCT streams too (the budget counts *distinct* delivered records, so
+the search keeps running exactly until enough survive).  ORDER BY and
+vertical aggregation are pipeline breakers: the full result is
+materialized first, then sliced.  :func:`execute_gql` is a thin
+materializing wrapper — ``list()`` of the iterator, same rows, same
+order.
+
 Aggregation semantics (documented refinement, matching Cypher/PGQL
 practice and the paper's Section 3 discussion):
 
@@ -20,9 +33,10 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 from repro.errors import GqlError
-from repro.gpml.engine import BindingRow, MatchResult, match, prepare
+from repro.gpml.engine import BindingRow, MatchResult, match_iter, prepare
 from repro.gpml.expr import EvalContext, Expr
 from repro.gpml.matcher import MatcherConfig
+from repro.gpml.streaming import PipelineStats, RowBudget
 from repro.gpml.parser import GpmlParser
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.path import Path
@@ -173,10 +187,78 @@ def _default_alias(expr: Expr, index: int) -> str:
 def execute_gql(
     graph: PropertyGraph, query: "str | GqlQuery", config: MatcherConfig | None = None
 ) -> GqlResult:
+    """Materializing wrapper: ``list()`` of :func:`execute_gql_iter`."""
+    parsed = parse_gql_query(query) if isinstance(query, str) else query
+    records = list(execute_gql_iter(graph, parsed, config))
+    return GqlResult(columns=[item.alias for item in parsed.items], records=records)
+
+
+def execute_gql_iter(
+    graph: PropertyGraph,
+    query: "str | GqlQuery",
+    config: MatcherConfig | None = None,
+    stats: Optional[PipelineStats] = None,
+) -> Iterator[dict[str, Any]]:
+    """Execute a GQL read query as a lazy stream of projected records.
+
+    Streams whenever the query has no ORDER BY and no vertical aggregate
+    (the two record-level pipeline breakers), pushing an ``OFFSET+LIMIT``
+    row budget down into the pattern search; otherwise materializes the
+    breaker's input and yields the sliced records.  Either way the
+    records equal :func:`execute_gql`'s, in the same order.
+    """
     parsed = parse_gql_query(query) if isinstance(query, str) else query
     prepared = prepare(parsed.pattern_text)
-    result = match(graph, prepared, config)
+    has_vertical = _mark_vertical_aggregates(parsed, prepared)
 
+    if has_vertical or parsed.order_by:
+        # Pipeline breakers: the full match result is needed before the
+        # first record can be emitted; LIMIT/OFFSET slice afterwards.
+        result = MatchResult(
+            rows=list(match_iter(graph, prepared, config, stats=stats)),
+            variables=prepared.visible_variables(),
+        )
+        if has_vertical:
+            records = _grouped_records(graph, parsed, result)
+        else:
+            records = _plain_records(graph, parsed, result)
+        if parsed.distinct:
+            records = _distinct_records(records, parsed)
+        if parsed.order_by:
+            records = _order_records(graph, records, parsed)
+        if parsed.offset is not None:
+            records = records[parsed.offset :]
+        if parsed.limit is not None:
+            records = records[: parsed.limit]
+        yield from records
+        return
+
+    # Streaming path: project row by row, count delivered (post-DISTINCT)
+    # records against an OFFSET+LIMIT budget that stops the search itself.
+    offset = parsed.offset or 0
+    limit = parsed.limit
+    if limit == 0:
+        return
+    budget = RowBudget(None if limit is None else offset + limit)
+    seen: Optional[set] = set() if parsed.distinct else None
+    for row in match_iter(graph, prepared, config, budget=budget, stats=stats):
+        ctx = EvalContext(bindings=row.values, graph=graph)
+        record = {item.alias: item.expr.evaluate(ctx) for item in parsed.items}
+        if seen is not None:
+            key = tuple(_group_key(record[item.alias]) for item in parsed.items)
+            if key in seen:
+                continue
+            seen.add(key)
+        budget.take()
+        if budget.taken <= offset:
+            continue
+        yield record
+        if budget.satisfied:
+            return
+
+
+def _mark_vertical_aggregates(parsed: GqlQuery, prepared) -> bool:
+    """Tag RETURN items that fold over rows; True when any item does."""
     group_vars: set[str] = set()
     for path_analysis in prepared.analysis.paths:
         group_vars |= set(path_analysis.group_vars)
@@ -186,21 +268,7 @@ def execute_gql(
             agg.var not in group_vars for agg in item.expr.aggregates()
         )
         has_vertical = has_vertical or item.vertical_aggregate
-
-    if has_vertical:
-        records = _grouped_records(graph, parsed, result)
-    else:
-        records = _plain_records(graph, parsed, result)
-
-    if parsed.distinct:
-        records = _distinct_records(records, parsed)
-    if parsed.order_by:
-        records = _order_records(graph, records, parsed)
-    if parsed.offset:
-        records = records[parsed.offset :]
-    if parsed.limit is not None:
-        records = records[: parsed.limit]
-    return GqlResult(columns=[item.alias for item in parsed.items], records=records)
+    return has_vertical
 
 
 def _plain_records(

@@ -4,15 +4,22 @@ A session holds named property graphs (GQL's catalog capability, reduced
 to what the paper's GPML scope needs) and executes read queries against
 them.  The graph is chosen by ``USE <name>`` in the query text, by the
 ``graph`` argument, or by the session default.
+
+:meth:`GqlSession.execute` materializes; :meth:`GqlSession.execute_iter`
+streams records as the search finds matches; :meth:`GqlSession.exists`
+and :meth:`GqlSession.first` push a one-row budget down into the NFA
+search, so probing a huge graph for *any* match costs a handful of steps.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import dataclasses
+from typing import Any, Iterator, Optional
 
 from repro.errors import GqlError
 from repro.gpml.matcher import MatcherConfig
-from repro.gql.query import GqlResult, execute_gql, parse_gql_query
+from repro.gpml.streaming import PipelineStats
+from repro.gql.query import GqlResult, execute_gql, execute_gql_iter, parse_gql_query
 from repro.graph.model import PropertyGraph
 
 
@@ -37,6 +44,15 @@ class GqlSession:
             raise GqlError(f"unknown graph {name!r}")
         return self._graphs[name]
 
+    def _resolve(self, parsed, graph: PropertyGraph | None) -> PropertyGraph:
+        if parsed.graph_name is not None:
+            return self.graph(parsed.graph_name)
+        if graph is not None:
+            return graph
+        if self._default is None:
+            raise GqlError("no graph selected: USE <name>, pass graph=, or set a default")
+        return self._default
+
     def execute(
         self,
         query: str,
@@ -44,13 +60,44 @@ class GqlSession:
         config: MatcherConfig | None = None,
     ) -> GqlResult:
         parsed = parse_gql_query(query)
-        target: Optional[PropertyGraph]
-        if parsed.graph_name is not None:
-            target = self.graph(parsed.graph_name)
-        elif graph is not None:
-            target = graph
-        else:
-            target = self._default
-        if target is None:
-            raise GqlError("no graph selected: USE <name>, pass graph=, or set a default")
-        return execute_gql(target, parsed, config)
+        return execute_gql(self._resolve(parsed, graph), parsed, config)
+
+    def execute_iter(
+        self,
+        query: str,
+        graph: PropertyGraph | None = None,
+        config: MatcherConfig | None = None,
+        stats: PipelineStats | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Execute a read query as a lazy stream of projected records."""
+        parsed = parse_gql_query(query)
+        return execute_gql_iter(self._resolve(parsed, graph), parsed, config, stats)
+
+    def first(
+        self,
+        query: str,
+        graph: PropertyGraph | None = None,
+        config: MatcherConfig | None = None,
+    ) -> Optional[dict[str, Any]]:
+        """The first result record, or None — terminating the search early.
+
+        Equivalent to tightening the query's LIMIT to 1 (honouring any
+        OFFSET): the row budget stops the underlying NFA search as soon
+        as one record has been delivered.
+        """
+        parsed = parse_gql_query(query)
+        limit = 1 if parsed.limit is None else min(parsed.limit, 1)
+        limited = dataclasses.replace(parsed, limit=limit)
+        return next(
+            iter(execute_gql_iter(self._resolve(parsed, graph), limited, config)),
+            None,
+        )
+
+    def exists(
+        self,
+        query: str,
+        graph: PropertyGraph | None = None,
+        config: MatcherConfig | None = None,
+    ) -> bool:
+        """Whether the query yields at least one record (early-terminating)."""
+        return self.first(query, graph, config) is not None

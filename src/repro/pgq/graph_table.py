@@ -16,10 +16,11 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import GpmlSyntaxError, PgqError
-from repro.gpml.engine import MatchResult, match
+from repro.gpml.engine import match_iter
 from repro.gpml.expr import EvalContext, Expr
 from repro.gpml.matcher import MatcherConfig
 from repro.gpml.parser import GpmlParser
+from repro.gpml.streaming import PipelineStats
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.path import Path
 from repro.pgq.table import Table
@@ -30,13 +31,20 @@ def graph_table(
     query: str,
     config: MatcherConfig | None = None,
     name: str = "graph_table",
+    limit: Optional[int] = None,
+    stats: Optional[PipelineStats] = None,
 ) -> Table:
-    """Evaluate ``MATCH ... [WHERE ...] COLUMNS (...)`` into a Table."""
+    """Evaluate ``MATCH ... [WHERE ...] COLUMNS (...)`` into a Table.
+
+    ``limit`` keeps the first N binding rows — and, because the shared
+    core streams, a satisfied row budget stops the underlying NFA search
+    instead of enumerating every match and slicing afterwards (the SQL
+    host's ``FETCH FIRST N ROWS ONLY`` pushed through GRAPH_TABLE).
+    """
     statement = _parse_graph_table(query)
-    result = match(graph, statement.pattern_text, config)
     columns = [column_name for column_name, _ in statement.columns]
     rows = []
-    for row in result.rows:
+    for row in match_iter(graph, statement.pattern_text, config, limit=limit, stats=stats):
         ctx = EvalContext(bindings=row.values, graph=graph)
         rows.append(
             tuple(_to_sql_value(expr.evaluate(ctx)) for _, expr in statement.columns)

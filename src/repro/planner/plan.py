@@ -8,14 +8,19 @@ a concrete graph into a :class:`QueryPlan`:
   cardinality; the cheapest *executable* anchor wins,
 * path patterns are ordered for the cross-pattern join by estimated
   result size, preferring patterns that share singleton variables with
-  the patterns already joined (connected joins before cross products),
+  the patterns already joined (connected joins before cross products) —
+  used by the materializing assembly (reference engine, baselines) and
+  surfaced in EXPLAIN PLAN; the streaming engine joins in textual order
+  with hash builds, where build order is immaterial,
+* the plan carries the streaming/blocking pipeline classification that
+  EXPLAIN PLAN renders (see :mod:`repro.gpml.streaming`),
 * the plan caches the reversed pattern + NFA for right anchors and is
   itself cached on the prepared query, keyed on the graph's mutation
   version — mutating the graph invalidates the plan.
 
-Plans only reorder exploration; the bag of results is unchanged (the
-engine re-sorts joined rows into textual nested-loop order, and reversed
-runs map bindings back to forward orientation).
+Plans only reorder exploration; the bag of results is unchanged (joined
+rows always come out in textual nested-loop order, and reversed runs map
+bindings back to forward orientation).
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.errors import ReproError
 from repro.gpml import ast
 from repro.gpml.analysis import PathAnalysis
 from repro.gpml.automaton import PatternNFA
+from repro.gpml.streaming import classify_pipeline, render_pipeline
 from repro.graph.model import PropertyGraph
 from repro.planner.anchor import (
     INTERIOR,
@@ -101,6 +107,9 @@ class QueryPlan:
     patterns: list[PatternPlan]
     join_order: list[int]
     join_sharing: dict[int, list[str]] = field(default_factory=dict)
+    #: streaming/blocking classification of every execution stage
+    #: (see repro.gpml.streaming.classify_pipeline)
+    pipeline: list = field(default_factory=list)
 
     def render(self, query_text: Optional[str] = None, paths: Optional[list] = None) -> str:
         lines: list[str] = []
@@ -140,6 +149,12 @@ class QueryPlan:
                     tag += " (cross product)"
                 parts.append(tag)
             lines.append(f"join order: {' -> '.join(parts)}")
+            lines.append(
+                "  (materializing assembly only; the streaming engine "
+                "probes pattern #1 and hash-builds the rest — see pipeline)"
+            )
+        if self.pipeline:
+            lines.extend(render_pipeline(self.pipeline))
         return "\n".join(lines)
 
 
@@ -178,6 +193,7 @@ def plan_query(graph: PropertyGraph, prepared) -> QueryPlan:
         patterns=patterns,
         join_order=join_order,
         join_sharing=join_sharing,
+        pipeline=classify_pipeline(prepared),
     )
     if cache is not None:
         cache["plan"] = (weakref.ref(graph), graph.version, plan)

@@ -206,7 +206,7 @@ class TestCandidateReduction:
         naive_matcher = Matcher(
             graph, prepared.nfas[0], prepared.normalized.paths[0].pattern, NAIVE
         )
-        naive_matcher.enumerate_all()
+        list(naive_matcher.enumerate_all())  # generator: drain to run the search
         naive_count = naive_matcher.initial_candidate_count
 
         plan = plan_query(graph, prepared)
@@ -229,7 +229,7 @@ class TestCandidateReduction:
         matcher = Matcher(
             graph, prepared.nfas[0], prepared.normalized.paths[0].pattern, NAIVE
         )
-        result = matcher.enumerate_all()
+        result = list(matcher.enumerate_all())
         assert matcher.initial_candidate_count == 1  # index, not a full scan
         assert len(result) == 1
         assert graph.has_index(None, "id")
