@@ -1,14 +1,18 @@
-"""SQL/PGQ end to end: tables -> CREATE PROPERTY GRAPH -> GRAPH_TABLE.
+"""SQL/PGQ end to end: tables -> CREATE PROPERTY GRAPH -> SQL with GRAPH_TABLE.
 
-Reproduces the Figure 2 / Figure 9 dataflow: start from relational
-banking tables, define a property-graph view over them with DDL, query
-the view with GPML inside GRAPH_TABLE, and compose the result with
-ordinary relational operators (the SELECT around GRAPH_TABLE).
+Reproduces the Figure 2 / Figure 9 dataflow on the real SQL host engine:
+start from relational banking tables, define a property-graph view over
+them with DDL, then run actual SQL statements whose FROM clause nests
+GPML inside GRAPH_TABLE — joins back to the base tables, grouping and
+ordering around the operator, and EXPLAIN showing the relational plan
+with the embedded streaming GPML pipeline (including the WHERE predicate
+pushed through GRAPH_TABLE into the MATCH).
 """
 
 import _bootstrap  # noqa: F401
 
-from repro.pgq import Catalog, Table
+from repro.pgq import Table, tabular_representation
+from repro.sql import Database
 
 ACCOUNTS = Table(
     ["ID", "owner", "isBlocked"],
@@ -53,45 +57,62 @@ EDGE TABLES (
 
 def main() -> None:
     # 1. Relational schema (Figure 2's tables) ------------------------
-    catalog = Catalog()
-    catalog.register_table("Account", ACCOUNTS)
-    catalog.register_table("Transfer", TRANSFERS)
+    database = Database()
+    database.register_table("Account", ACCOUNTS)
+    database.register_table("Transfer", TRANSFERS)
     print("base table Account:")
     print(ACCOUNTS.pretty())
 
-    # 2. Graph view over the tables -----------------------------------
-    graph = catalog.execute(DDL)
+    # 2. Graph view over the tables (DDL through the SQL engine) ------
+    graph = database.execute(DDL)
     print(f"\ngraph view: {graph}")
 
-    # 3. GRAPH_TABLE: GPML inside SQL (Figure 9, left) ------------------
-    from repro.pgq import graph_table
-
-    chains = graph_table(
-        graph,
-        "MATCH TRAIL (a WHERE a.owner='Dave')-[e:Transfer]->*"
-        "(b WHERE b.owner='Aretha') "
-        "COLUMNS (a.owner AS source, b.owner AS target, "
-        "COUNT(e) AS hops, SUM(e.amount) AS moved, LISTAGG(e, ' > ') AS route)",
-    )
-    print("\nGRAPH_TABLE result (transfer trails Dave -> Aretha):")
+    # 3. GRAPH_TABLE in FROM: GPML inside SQL (Figure 9, left) --------
+    chains = database.execute("""
+        SELECT gt.source, gt.target, gt.hops, gt.moved, gt.route
+        FROM GRAPH_TABLE(bank
+          MATCH TRAIL (a WHERE a.owner='Dave')-[e:Transfer]->*
+                (b WHERE b.owner='Aretha')
+          COLUMNS (a.owner AS source, b.owner AS target,
+                   COUNT(e) AS hops, SUM(e.amount) AS moved,
+                   LISTAGG(e, ' > ') AS route)
+        ) AS gt
+    """)
+    print("\ntransfer trails Dave -> Aretha (SELECT over GRAPH_TABLE):")
     print(chains.pretty())
 
-    # 4. SQL composition around the operator ---------------------------
-    summary = (
-        graph_table(
-            graph,
-            "MATCH (a:Account)-[t:Transfer]->(b:Account) "
-            "COLUMNS (a.owner AS sender, t.amount AS amount)",
-        )
-        .group_by(["sender"], {"n": ("COUNT", "*"), "total": ("SUM", "amount")})
-        .order_by(["total"], descending=True)
-    )
-    print("\noutgoing-transfer summary (GROUP BY around GRAPH_TABLE):")
+    # 4. SQL composition: JOIN back to a base table, GROUP BY, HAVING --
+    summary = database.execute("""
+        SELECT gt.sender, acc.isBlocked, COUNT(*) AS n, SUM(gt.amount) AS total
+        FROM GRAPH_TABLE(bank
+          MATCH (a:Account)-[t:Transfer]->(b:Account)
+          COLUMNS (a.owner AS sender, t.amount AS amount)
+        ) AS gt
+        JOIN Account AS acc ON acc.owner = gt.sender
+        GROUP BY gt.sender, acc.isBlocked
+        HAVING SUM(gt.amount) >= 9000000
+        ORDER BY total DESC, sender
+    """)
+    print("\noutgoing-transfer summary (JOIN + GROUP BY around GRAPH_TABLE):")
     print(summary.pretty())
 
-    # 5. The inverse direction: graph -> label-combination relations ---
-    from repro.pgq import tabular_representation
+    # 5. Cross-model pushdown: the WHERE predicate and the row budget
+    #    travel through GRAPH_TABLE into the streaming NFA search ------
+    query = """
+        SELECT gt.target
+        FROM GRAPH_TABLE(bank
+          MATCH (a:Account)-[t:Transfer]->(b:Account)
+          COLUMNS (a.owner AS source, b.owner AS target)
+        ) AS gt
+        WHERE gt.source = 'Mike'
+        LIMIT 1
+    """
+    print("\nEXPLAIN (relational plan with the embedded GPML pipeline):")
+    print(database.explain(query))
+    print("\nresult:")
+    print(database.execute(query).pretty())
 
+    # 6. The inverse direction: graph -> label-combination relations ---
     tables = tabular_representation(graph)
     print("\ntabular representation of the view (Figure 2 direction):")
     for name, table in tables.items():

@@ -28,11 +28,13 @@ from repro.gpml import (
     match_iter,
     prepare,
 )
+from repro.sql import Database
 from repro.values import NULL, TruthValue
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Database",
     "GraphBuilder",
     "MatchResult",
     "NULL",

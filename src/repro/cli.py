@@ -7,6 +7,8 @@ Usage::
     python -m repro --explain 'MATCH ANY SHORTEST p = (a)->*(b)'
     python -m repro --limit 10 'MATCH (a)-[e:Transfer]->(b)'
     python -m repro --first 'MATCH (a)-[e]->(a)'
+    python -m repro sql 'SELECT g.src FROM GRAPH_TABLE(figure1 MATCH
+        (a:Account)-[t:Transfer]->(b) COLUMNS (a.owner AS src)) AS g LIMIT 3'
 
 With no ``--graph``, queries run against the paper's Figure 1 banking
 graph.  Single or double quotes work for string literals (double quotes
@@ -17,6 +19,15 @@ as the search discovers them, and a satisfied row budget terminates the
 search itself — a ``--first`` probe on a huge graph touches a handful of
 edges.  The table renderer streams too, so even unlimited queries emit
 output incrementally instead of materializing every row up front.
+
+``repro sql`` runs a statement through the SQL host engine instead.  The
+session's database contains the chosen graph (registered under its own
+name) *and* its tabular representation as base tables — one relation per
+label combination (Figure 2) — so GRAPH_TABLE results join against plain
+tables out of the box.  ``--explain`` prints the relational operator tree
+with the embedded streaming GPML pipeline; ``--stats`` reports matcher
+step/match/row counters after execution (evidence that LIMIT and WHERE
+pushdown reach the NFA search).
 """
 
 from __future__ import annotations
@@ -31,6 +42,7 @@ from repro.extensions.json_export import result_to_json
 from repro.gpml.engine import BindingRow, MatchResult, _to_ids, match_iter, prepare
 from repro.gpml.explain import explain, explain_plan
 from repro.graph.serialization import graph_from_json
+from repro.pgq.table import Table
 
 
 def _load_graph(path: str | None):
@@ -95,7 +107,77 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sql_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro sql",
+        description="Run SQL/PGQ statements (SELECT with GRAPH_TABLE in FROM).",
+    )
+    parser.add_argument("query", help="a SQL statement")
+    parser.add_argument(
+        "--graph", metavar="FILE", default=None,
+        help="JSON graph file (default: the paper's Figure 1 banking graph); "
+        "registered under its own name, with its label-combination "
+        "relations as base tables",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the relational operator tree (with the embedded "
+        "streaming GPML pipeline per GRAPH_TABLE) instead of running",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="after execution, print matcher step/match/row counters "
+        "(shows how much of the search LIMIT/WHERE pushdown skipped)",
+    )
+    return parser
+
+
+def sql_main(argv: list[str]) -> int:
+    from repro.gpml.streaming import PipelineStats
+    from repro.pgq.tabular import tabular_representation
+    from repro.sql import Database
+
+    args = build_sql_parser().parse_args(argv)
+    # shells prefer double quotes; SQL strings use single quotes.  Only
+    # normalize when the statement has no single-quoted literal of its
+    # own, so data containing double quotes survives untouched.
+    query = args.query
+    if "'" not in query:
+        query = query.replace('"', "'")
+    try:
+        graph = _load_graph(args.graph)
+        database = Database()
+        database.register_graph(graph.name, graph)
+        for name, table in tabular_representation(graph).items():
+            database.register_table(name, table)
+        if args.explain:
+            print(database.explain(query))
+            return 0
+        stats = PipelineStats() if args.stats else None
+        result = database.execute(query, stats=stats)
+        if isinstance(result, Table):
+            print(result.pretty(max_rows=50))
+        else:  # CREATE PROPERTY GRAPH returns the new graph view
+            print(result)
+        if stats is not None:
+            print(
+                f"-- stats: {stats.steps} matcher steps, "
+                f"{stats.matches} raw matches, {stats.rows} delivered rows"
+            )
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sql":
+        return sql_main(argv[1:])
     args = build_parser().parse_args(argv)
     # shells prefer double quotes; GPML strings use single quotes
     query = args.query.replace('"', "'")

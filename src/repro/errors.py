@@ -89,5 +89,22 @@ class DdlError(PgqError):
     """Invalid CREATE PROPERTY GRAPH statement."""
 
 
+class SqlError(PgqError):
+    """Base class for errors raised by the SQL host engine (:mod:`repro.sql`)."""
+
+
+class SqlSyntaxError(SqlError):
+    """Lexical or grammatical error in a SQL statement."""
+
+    def __init__(self, message: str, position: int = -1, text: str = ""):
+        self.position = position
+        self.text = text
+        if position >= 0 and text:
+            line = text.count("\n", 0, position) + 1
+            col = position - (text.rfind("\n", 0, position) + 1) + 1
+            message = f"{message} (line {line}, column {col})"
+        super().__init__(message)
+
+
 class GqlError(ReproError):
     """Base class for errors raised by the GQL host layer."""

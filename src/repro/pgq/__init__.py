@@ -17,7 +17,7 @@ the paper, left output).  This package provides:
 
 from repro.pgq.catalog import Catalog
 from repro.pgq.ddl import parse_create_property_graph
-from repro.pgq.graph_table import graph_table
+from repro.pgq.graph_table import GraphTableStatement, graph_table, iter_graph_table_rows
 from repro.pgq.graph_view import EdgeTableSpec, GraphSpec, VertexTableSpec, build_graph_view
 from repro.pgq.table import Table
 from repro.pgq.tabular import tabular_representation
@@ -26,10 +26,12 @@ __all__ = [
     "Catalog",
     "EdgeTableSpec",
     "GraphSpec",
+    "GraphTableStatement",
     "Table",
     "VertexTableSpec",
     "build_graph_view",
     "graph_table",
+    "iter_graph_table_rows",
     "parse_create_property_graph",
     "tabular_representation",
 ]

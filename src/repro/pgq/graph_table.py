@@ -4,7 +4,11 @@
 shared pattern-matching core and projects each binding row through the
 COLUMNS expressions into an ordinary :class:`~repro.pgq.table.Table` —
 the SQL host then composes freely (the paper's SELECT around
-GRAPH_TABLE).
+GRAPH_TABLE).  The :mod:`repro.sql` engine embeds the same machinery as a
+first-class table operator in FROM: it parses the COLUMNS clause with
+:func:`parse_columns_clause`, then drives :func:`iter_graph_table_rows`
+directly so outer LIMIT/FETCH FIRST budgets and pushed-down WHERE
+predicates reach the streaming NFA search.
 
 COLUMNS expressions are regular GPML value expressions, so horizontal
 aggregates over group variables work exactly as PGQL's group variables do
@@ -13,17 +17,38 @@ aggregates over group variables work exactly as PGQL's group variables do
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.errors import GpmlSyntaxError, PgqError
-from repro.gpml.engine import match_iter
+from repro.gpml import ast
+from repro.gpml.engine import PreparedQuery, match_iter, prepare
 from repro.gpml.expr import EvalContext, Expr
 from repro.gpml.matcher import MatcherConfig
 from repro.gpml.parser import GpmlParser
-from repro.gpml.streaming import PipelineStats
+from repro.gpml.streaming import PipelineStats, RowBudget
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.path import Path
 from repro.pgq.table import Table
+
+
+class GraphTableStatement:
+    """A parsed GRAPH_TABLE body: the MATCH pattern plus COLUMNS exprs."""
+
+    def __init__(
+        self,
+        pattern_text: str,
+        columns: list[tuple[str, Expr]],
+        pattern: Optional[ast.GraphPattern] = None,
+    ):
+        self.pattern_text = pattern_text
+        self.columns = columns
+        #: the pattern AST when the caller parsed it inline (the SQL host
+        #: keeps it to conjoin pushed-down predicates before preparing)
+        self.pattern = pattern
+
+    @property
+    def column_names(self) -> list[str]:
+        return [name for name, _ in self.columns]
 
 
 def graph_table(
@@ -41,34 +66,75 @@ def graph_table(
     instead of enumerating every match and slicing afterwards (the SQL
     host's ``FETCH FIRST N ROWS ONLY`` pushed through GRAPH_TABLE).
     """
-    statement = _parse_graph_table(query)
-    columns = [column_name for column_name, _ in statement.columns]
-    rows = []
-    for row in match_iter(graph, statement.pattern_text, config, limit=limit, stats=stats):
-        ctx = EvalContext(bindings=row.values, graph=graph)
-        rows.append(
-            tuple(_to_sql_value(expr.evaluate(ctx)) for _, expr in statement.columns)
+    statement = _parse_graph_table(query, name)
+    rows = list(
+        iter_graph_table_rows(
+            graph, statement, prepare(statement.pattern), config,
+            limit=limit, stats=stats,
         )
-    return Table(columns, rows, name=name)
+    )
+    return Table(statement.column_names, rows, name=name)
 
 
-class _GraphTableStatement:
-    def __init__(self, pattern_text: str, columns: list[tuple[str, Expr]]):
-        self.pattern_text = pattern_text
-        self.columns = columns
+def iter_graph_table_rows(
+    graph: PropertyGraph,
+    statement: GraphTableStatement,
+    prepared: PreparedQuery,
+    config: MatcherConfig | None = None,
+    *,
+    limit: Optional[int] = None,
+    budget: Optional[RowBudget] = None,
+    stats: Optional[PipelineStats] = None,
+) -> Iterator[tuple]:
+    """Stream COLUMNS-projected value rows for a GRAPH_TABLE statement.
+
+    The streaming core behind both :func:`graph_table` and the SQL
+    engine's GRAPH_TABLE scan operator: binding rows come straight from
+    :func:`~repro.gpml.engine.match_iter` (so ``limit`` and a shared
+    ``budget`` cancel the NFA search itself), and each is projected
+    through the COLUMNS expressions into a tuple of SQL values.
+    """
+    for row in match_iter(
+        graph, prepared, config, limit=limit, budget=budget, stats=stats
+    ):
+        ctx = EvalContext(bindings=row.values, graph=graph)
+        yield tuple(_to_sql_value(expr.evaluate(ctx)) for _, expr in statement.columns)
 
 
-def _parse_graph_table(query: str) -> _GraphTableStatement:
-    parser = GpmlParser(query)
-    parser.expect_keyword("MATCH")
-    parser.parse_graph_pattern_body()
-    if not parser.at_keyword("COLUMNS"):
-        raise PgqError("GRAPH_TABLE query must end with a COLUMNS clause")
-    # The MATCH text (everything before COLUMNS) is re-parsed by the
-    # engine; slicing by token position keeps one source of truth.
-    columns_start = parser.peek().position
-    pattern_text = query[:columns_start]
-    parser.advance()  # COLUMNS
+def _parse_graph_table(query: str, name: str) -> GraphTableStatement:
+    """Parse a standalone ``MATCH ... COLUMNS (...)`` body.
+
+    Parse errors carry the operator's table *name* so a SQL statement
+    with several GRAPH_TABLEs points at the one that is broken.
+    """
+    try:
+        parser = GpmlParser(query)
+        parser.expect_keyword("MATCH")
+        pattern = parser.parse_graph_pattern_body()
+        if not parser.at_keyword("COLUMNS"):
+            raise PgqError("GRAPH_TABLE query must end with a COLUMNS clause")
+        # The MATCH text (everything before COLUMNS) is re-parsed by the
+        # engine; slicing by token position keeps one source of truth.
+        columns_start = parser.peek().position
+        pattern_text = query[:columns_start]
+        parser.advance()  # COLUMNS
+        columns = parse_columns_clause(parser)
+        parser.expect_eof()
+    except GpmlSyntaxError as exc:
+        raise PgqError(f"in GRAPH_TABLE {name!r}: {exc}") from exc
+    except PgqError as exc:
+        raise PgqError(f"in GRAPH_TABLE {name!r}: {exc}") from None
+    return GraphTableStatement(
+        pattern_text=pattern_text, columns=columns, pattern=pattern
+    )
+
+
+def parse_columns_clause(parser: GpmlParser) -> list[tuple[str, Expr]]:
+    """Parse ``( expr [AS name] , ... )`` — the COLUMNS keyword is consumed.
+
+    Shared between the standalone operator and the SQL parser (which
+    reaches the clause inside ``FROM GRAPH_TABLE(g MATCH ...)``).
+    """
     parser.expect_punct("(")
     columns: list[tuple[str, Expr]] = []
     while True:
@@ -81,8 +147,7 @@ def _parse_graph_table(query: str) -> _GraphTableStatement:
         if not parser.accept_punct(","):
             break
     parser.expect_punct(")")
-    parser.expect_eof()
-    return _GraphTableStatement(pattern_text=pattern_text, columns=columns)
+    return columns
 
 
 def _default_column_name(expr: Expr, index: int) -> str:

@@ -1,0 +1,132 @@
+"""The SQL/PGQ session object: a catalog plus ``execute(sql)``.
+
+:class:`Database` is the SQL twin of :class:`repro.gql.session.GqlSession`
+— Figure 9's two hosts over the shared GPML core.  It wraps a
+:class:`~repro.pgq.catalog.Catalog` of base tables and property graphs
+(graphs are created with ``CREATE PROPERTY GRAPH`` DDL or registered
+directly) and executes SELECT statements through the relational operator
+pipeline of :mod:`repro.sql.planner`, returning ordinary
+:class:`~repro.pgq.table.Table` results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import SqlError
+from repro.gpml.matcher import MatcherConfig
+from repro.gpml.streaming import PipelineStats
+from repro.graph.model import PropertyGraph
+from repro.pgq.catalog import Catalog
+from repro.pgq.table import Table
+from repro.sql import ast
+from repro.sql.operators import render_plan
+from repro.sql.parser import parse_sql
+from repro.sql.planner import PlannerContext, plan_statement
+
+
+class Database:
+    """Executes SQL (with GRAPH_TABLE in FROM) against a catalog."""
+
+    def __init__(self, catalog: Optional[Catalog] = None):
+        self.catalog = catalog if catalog is not None else Catalog()
+
+    # -- catalog ergonomics ---------------------------------------------
+    def register_table(self, name: str, table: Table) -> None:
+        self.catalog.register_table(name, table)
+
+    def register_graph(self, name: str, graph: PropertyGraph) -> None:
+        self.catalog.register_graph(name, graph)
+
+    def table(self, name: str) -> Table:
+        if not self.catalog.has_table(name):
+            raise SqlError(
+                f"unknown table {name!r} "
+                f"(known tables: {', '.join(self.catalog.table_names()) or '<none>'})"
+            )
+        return self.catalog.table(name)
+
+    def graph(self, name: str) -> PropertyGraph:
+        if not self.catalog.has_graph(name):
+            raise SqlError(
+                f"unknown graph {name!r} "
+                f"(known graphs: {', '.join(self.catalog.graph_names()) or '<none>'})"
+            )
+        return self.catalog.graph(name)
+
+    # -- execution ------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        config: Optional[MatcherConfig] = None,
+        stats: Optional[PipelineStats] = None,
+        pushdown: bool = True,
+    ):
+        """Execute one statement.
+
+        SELECT returns a :class:`Table`; ``EXPLAIN SELECT`` returns a
+        one-column Table of plan lines; ``CREATE PROPERTY GRAPH`` builds
+        and registers the graph view, returning the
+        :class:`PropertyGraph`.  ``pushdown=False`` disables predicate
+        and row-budget pushdown into GRAPH_TABLE (results are identical;
+        the flag exists for tests and benchmarks).
+        """
+        statement = parse_sql(sql)
+        if isinstance(statement, ast.CreateGraphStatement):
+            return self.catalog.execute(statement.text)
+        if isinstance(statement, ast.ExplainStatement):
+            lines = self._plan_lines(statement.inner, config, pushdown)
+            return Table(["plan"], [(line,) for line in lines], name="explain")
+        plan = self._plan(statement, config, stats, pushdown)
+        names = [column.name for column in plan.columns]
+        return Table(names, plan.rows(), name="result")
+
+    def execute_iter(
+        self,
+        sql: str,
+        config: Optional[MatcherConfig] = None,
+        stats: Optional[PipelineStats] = None,
+        pushdown: bool = True,
+    ) -> Iterator[dict[str, Any]]:
+        """Execute a SELECT as a lazy stream of dict records."""
+        statement = parse_sql(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise SqlError("execute_iter only streams SELECT statements")
+        plan = self._plan(statement, config, stats, pushdown)
+        names = [column.name for column in plan.columns]
+        return (dict(zip(names, row)) for row in plan.rows())
+
+    def explain(
+        self,
+        sql: str,
+        config: Optional[MatcherConfig] = None,
+        pushdown: bool = True,
+    ) -> str:
+        """The relational plan (with embedded GPML pipelines) as text."""
+        statement = parse_sql(sql)
+        if isinstance(statement, ast.ExplainStatement):
+            statement = statement.inner
+        if not isinstance(statement, ast.SelectStatement):
+            raise SqlError("EXPLAIN applies to SELECT statements")
+        return "\n".join(self._plan_lines(statement, config, pushdown))
+
+    # -- internals ------------------------------------------------------
+    def _plan(
+        self,
+        statement: ast.SelectStatement,
+        config: Optional[MatcherConfig],
+        stats: Optional[PipelineStats],
+        pushdown: bool,
+    ):
+        ctx = PlannerContext(
+            database=self, config=config, stats=stats, pushdown=pushdown
+        )
+        return plan_statement(statement, ctx)
+
+    def _plan_lines(
+        self,
+        statement: ast.SelectStatement,
+        config: Optional[MatcherConfig],
+        pushdown: bool,
+    ) -> list[str]:
+        return render_plan(self._plan(statement, config, None, pushdown))

@@ -1,0 +1,539 @@
+"""Pull-based relational operators (the PR-2 style, lifted to SQL).
+
+Every operator exposes its output schema (``columns``), a lazy ``rows()``
+generator, and an EXPLAIN description.  Streaming operators (scan,
+filter, project, the probe side of a hash join, distinct, limit, union)
+emit rows as their input produces them; pipeline breakers (sort,
+aggregation, the build side of a join) consume their whole input first.
+
+The graph leaf is :class:`GraphTableScan`: it drives the streaming GPML
+core directly, so a :class:`~repro.gpml.streaming.RowBudget` owned by the
+outer LIMIT reaches the NFA search itself — ``SELECT ... LIMIT 1`` over a
+huge graph stops the product-graph exploration after a handful of edge
+expansions, and pushed-down WHERE conjuncts ride into the MATCH where the
+cost-based planner turns them into index anchors.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Optional
+
+from repro.errors import SqlError
+from repro.gpml.engine import PreparedQuery
+from repro.gpml.expr import Expr
+from repro.gpml.matcher import MatcherConfig
+from repro.gpml.streaming import PipelineStats, RowBudget, classify_pipeline, render_pipeline
+from repro.graph.model import PropertyGraph
+from repro.pgq.graph_table import GraphTableStatement, iter_graph_table_rows
+from repro.pgq.table import Table
+from repro.sql.binder import Column, evaluate, holds
+from repro.values import NULL, is_null
+
+
+class Operator:
+    """Base class: an output schema plus a lazy row stream."""
+
+    columns: list[Column]
+    children: list["Operator"]
+
+    def rows(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def detail_lines(self) -> list[str]:
+        return []
+
+
+def render_plan(op: Operator, indent: str = "") -> list[str]:
+    """Indented operator tree for EXPLAIN."""
+    lines = [f"{indent}{op.describe()}"]
+    child_indent = indent + "  "
+    for detail in op.detail_lines():
+        lines.append(f"{child_indent}{detail}")
+    for child in op.children:
+        lines.extend(render_plan(child, child_indent))
+    return lines
+
+
+def _hashable(value: Any) -> Any:
+    if isinstance(value, list):
+        return tuple(_hashable(v) for v in value)
+    return value
+
+
+def _row_key(row: tuple) -> tuple:
+    return tuple(_hashable(v) for v in row)
+
+
+# ----------------------------------------------------------------------
+# Leaves
+# ----------------------------------------------------------------------
+class TableScan(Operator):
+    """Stream the rows of a registered base table."""
+
+    def __init__(self, table: Table, alias: Optional[str], source: int = 0):
+        self.table = table
+        self.alias = alias
+        self.columns = [
+            Column(table=alias, name=name, source=source) for name in table.columns
+        ]
+        self.children = []
+
+    def rows(self) -> Iterator[tuple]:
+        return iter(self.table.rows)
+
+    def describe(self) -> str:
+        alias = f" AS {self.alias}" if self.alias and self.alias != self.table.name else ""
+        return f"scan {self.table.name or '<anonymous>'}{alias} [{len(self.table)} rows]"
+
+
+class GraphTableScan(Operator):
+    """GRAPH_TABLE as a table operator: the streaming GPML core in FROM.
+
+    ``prepared`` already contains any pushed-down predicates conjoined
+    into the pattern's WHERE; ``budget`` is the outer LIMIT's shared
+    :class:`RowBudget` (None when the statement is unbounded).
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        graph_name: str,
+        statement: GraphTableStatement,
+        prepared: PreparedQuery,
+        alias: Optional[str],
+        source: int = 0,
+        config: Optional[MatcherConfig] = None,
+        stats: Optional[PipelineStats] = None,
+        pushed_predicates: Optional[list[Expr]] = None,
+    ):
+        self.graph = graph
+        self.graph_name = graph_name
+        self.statement = statement
+        self.prepared = prepared
+        self.alias = alias
+        self.config = config
+        self.stats = stats
+        self.pushed_predicates = pushed_predicates or []
+        self.budget: Optional[RowBudget] = None
+        self.columns = [
+            Column(table=alias, name=name, source=source)
+            for name in statement.column_names
+        ]
+        self.children = []
+
+    def rows(self) -> Iterator[tuple]:
+        return iter_graph_table_rows(
+            self.graph,
+            self.statement,
+            self.prepared,
+            self.config,
+            budget=self.budget,
+            stats=self.stats,
+        )
+
+    def describe(self) -> str:
+        alias = f" AS {self.alias}" if self.alias else ""
+        return f"graph_table scan {self.graph_name}{alias}"
+
+    def detail_lines(self) -> list[str]:
+        lines = [f"pattern: {' '.join(self.statement.pattern_text.split())}"]
+        lines.append(f"columns: {', '.join(self.statement.column_names)}")
+        for predicate in self.pushed_predicates:
+            lines.append(f"pushed into MATCH: {predicate}")
+        if self.budget is not None:
+            lines.append(
+                f"row budget: shared with outer LIMIT "
+                f"(stops the NFA search after {self.budget.needed} delivered rows)"
+            )
+        lines.extend(render_pipeline(classify_pipeline(self.prepared)))
+        return lines
+
+
+class SingleRow(Operator):
+    """FROM-less SELECT: one empty row (``SELECT 1 + 1``)."""
+
+    def __init__(self):
+        self.columns = []
+        self.children = []
+
+    def rows(self) -> Iterator[tuple]:
+        yield ()
+
+    def describe(self) -> str:
+        return "single row"
+
+
+# ----------------------------------------------------------------------
+# Row transforms
+# ----------------------------------------------------------------------
+class Filter(Operator):
+    """Keep rows whose predicate is TRUE (three-valued logic)."""
+
+    def __init__(self, child: Operator, predicate: Expr, label: str = "filter"):
+        self.child = child
+        self.predicate = predicate
+        self.label = label
+        self.columns = child.columns
+        self.children = [child]
+
+    def rows(self) -> Iterator[tuple]:
+        predicate = self.predicate
+        for row in self.child.rows():
+            if holds(predicate, row):
+                yield row
+
+    def describe(self) -> str:
+        return f"{self.label}: {self.predicate}"
+
+
+class Project(Operator):
+    """Compute the output expressions of the SELECT list."""
+
+    def __init__(
+        self,
+        child: Operator,
+        items: list[tuple[str, Expr]],
+        qualifier: Optional[str] = None,
+    ):
+        self.child = child
+        self.items = items
+        self.columns = [
+            Column(table=qualifier, name=name, source=0) for name, _ in items
+        ]
+        self.children = [child]
+
+    def rows(self) -> Iterator[tuple]:
+        exprs = [expr for _, expr in self.items]
+        for row in self.child.rows():
+            yield tuple(evaluate(expr, row) for expr in exprs)
+
+    def describe(self) -> str:
+        rendered = ", ".join(
+            name if name == str(expr) else f"{expr} AS {name}"
+            for name, expr in self.items
+        )
+        return f"project: {rendered}"
+
+
+class Distinct(Operator):
+    """Streaming duplicate elimination (first occurrence wins)."""
+
+    def __init__(self, child: Operator):
+        self.child = child
+        self.columns = child.columns
+        self.children = [child]
+
+    def rows(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.child.rows():
+            key = _row_key(row)
+            if key not in seen:
+                seen.add(key)
+                yield row
+
+    def describe(self) -> str:
+        return "distinct"
+
+
+# ----------------------------------------------------------------------
+# Join
+# ----------------------------------------------------------------------
+class Join(Operator):
+    """Inner join: hash join on equi-conjuncts, nested loop otherwise.
+
+    The build (right) side is a pipeline breaker; the probe (left) side
+    streams, so a graph scan on the left keeps its early-termination
+    behaviour.  NULL join keys never match (SQL semantics).
+    """
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        left_keys: list[Expr],
+        right_keys: list[Expr],
+        residual: Optional[Expr] = None,
+    ):
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.columns = left.columns + right.columns
+        self.children = [left, right]
+
+    def rows(self) -> Iterator[tuple]:
+        if self.left_keys:
+            yield from self._hash_rows()
+        else:
+            yield from self._loop_rows()
+
+    def _hash_rows(self) -> Iterator[tuple]:
+        build: dict[tuple, list[tuple]] = {}
+        for row in self.right.rows():
+            key = tuple(_hashable(evaluate(k, row)) for k in self.right_keys)
+            if any(is_null(v) for v in key):
+                continue
+            build.setdefault(key, []).append(row)
+        if not build:
+            return
+        residual = self.residual
+        for row in self.left.rows():
+            key = tuple(_hashable(evaluate(k, row)) for k in self.left_keys)
+            if any(is_null(v) for v in key):
+                continue
+            for other in build.get(key, ()):
+                merged = row + other
+                if residual is None or holds(residual, merged):
+                    yield merged
+
+    def _loop_rows(self) -> Iterator[tuple]:
+        build = list(self.right.rows())
+        if not build:
+            return
+        residual = self.residual
+        for row in self.left.rows():
+            for other in build:
+                merged = row + other
+                if residual is None or holds(residual, merged):
+                    yield merged
+
+    def describe(self) -> str:
+        if self.left_keys:
+            keys = ", ".join(
+                f"{l} = {r}" for l, r in zip(self.left_keys, self.right_keys)
+            )
+            text = f"hash join on {keys} (build right, probe left streams)"
+        elif self.residual is not None:
+            text = f"nested-loop join on {self.residual}"
+        else:
+            text = "cross join"
+        if self.left_keys and self.residual is not None:
+            text += f" residual {self.residual}"
+        return text
+
+
+# ----------------------------------------------------------------------
+# Aggregation
+# ----------------------------------------------------------------------
+class Aggregate(Operator):
+    """GROUP BY + vertical aggregates (a pipeline breaker).
+
+    ``keys`` are (column, bound expr) pairs over the input; ``aggregates``
+    are the bound :class:`SqlAggregate` specs.  With no GROUP BY the
+    whole input forms one group (so ``SELECT COUNT(*) FROM t`` yields one
+    row even for an empty table).  Groups emit in first-seen order.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: list[tuple[Column, Expr]],
+        aggregates: list[tuple[Column, "BoundAggregate"]],
+        group_all: bool = False,
+    ):
+        self.child = child
+        self.keys = keys
+        self.aggregates = aggregates
+        self.group_all = group_all
+        self.columns = [c for c, _ in keys] + [c for c, _ in aggregates]
+        self.children = [child]
+
+    def rows(self) -> Iterator[tuple]:
+        groups: dict[tuple, list[tuple]] = {}
+        order: list[tuple] = []
+        originals: dict[tuple, tuple] = {}
+        for row in self.child.rows():
+            values = tuple(evaluate(expr, row) for _, expr in self.keys)
+            key = _row_key(values)
+            bucket = groups.get(key)
+            if bucket is None:
+                order.append(key)
+                originals[key] = values
+                groups[key] = [row]
+            else:
+                bucket.append(row)
+        if not order and self.group_all:
+            order.append(())
+            groups[()] = []
+            originals[()] = ()
+        for key in order:
+            members = groups[key]
+            out = list(originals[key])
+            for _, aggregate in self.aggregates:
+                out.append(aggregate.compute(members))
+            yield tuple(out)
+
+    def describe(self) -> str:
+        keys = ", ".join(str(expr) for _, expr in self.keys) or "()"
+        aggs = ", ".join(str(spec) for _, spec in self.aggregates)
+        return f"aggregate: group by {keys}" + (f" compute {aggs}" if aggs else "")
+
+
+class BoundAggregate:
+    """One vertical aggregate with its argument bound over the input."""
+
+    def __init__(self, func: str, arg: Optional[Expr], distinct: bool, separator: str):
+        self.func = func
+        self.arg = arg
+        self.distinct = distinct
+        self.separator = separator
+
+    def compute(self, rows: list[tuple]) -> Any:
+        if self.arg is None:  # COUNT(*)
+            return len(rows)
+        values = [
+            value
+            for value in (evaluate(self.arg, row) for row in rows)
+            if not is_null(value)
+        ]
+        if self.distinct:
+            unique: list[Any] = []
+            for value in values:
+                if value not in unique:
+                    unique.append(value)
+            values = unique
+        func = self.func
+        if func == "COUNT":
+            return len(values)
+        if func == "LISTAGG":
+            return self.separator.join(str(v) for v in values)
+        if not values:
+            return NULL
+        if func == "SUM":
+            return sum(values)
+        if func == "AVG":
+            return sum(values) / len(values)
+        if func == "MIN":
+            return min(values)
+        if func == "MAX":
+            return max(values)
+        raise SqlError(f"unknown aggregate {func!r}")  # pragma: no cover
+
+    def __str__(self) -> str:
+        distinct = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({distinct}{'*' if self.arg is None else self.arg})"
+
+
+# ----------------------------------------------------------------------
+# Order / limit / set operations
+# ----------------------------------------------------------------------
+class Sort(Operator):
+    """ORDER BY (a pipeline breaker): stable multi-key sort.
+
+    NULLs sort last ascending (first descending); all numeric values
+    (int/float/bool) share one sort class so ``ORDER BY`` interleaves
+    them numerically, and other values are keyed by type name so
+    heterogeneous columns stay orderable.
+    """
+
+    def __init__(self, child: Operator, keys: list[tuple[Expr, bool]]):
+        self.child = child
+        self.keys = keys  # (bound expr, descending)
+        self.columns = child.columns
+        self.children = [child]
+
+    def rows(self) -> Iterator[tuple]:
+        rows = list(self.child.rows())
+        for expr, descending in reversed(self.keys):
+            rows.sort(key=lambda row: _sort_key(evaluate(expr, row)), reverse=descending)
+        return iter(rows)
+
+    def describe(self) -> str:
+        keys = ", ".join(
+            f"{expr}{' DESC' if descending else ''}" for expr, descending in self.keys
+        )
+        return f"sort: {keys}"
+
+
+def _sort_key(value: Any) -> tuple:
+    if is_null(value):
+        return (1, "", "")
+    if isinstance(value, (bool, int, float)):
+        return (0, "number", _hashable(value))
+    return (0, type(value).__name__, _hashable(value))
+
+
+class Limit(Operator):
+    """LIMIT/OFFSET; owns the statement's RowBudget when one exists.
+
+    The budget counts rows *pulled* (offset + limit of them are needed),
+    and every :class:`GraphTableScan` below polls it — satisfied means
+    the NFA search stops, not just the iteration.
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        limit: Optional[int],
+        offset: int = 0,
+        budget: Optional[RowBudget] = None,
+    ):
+        self.child = child
+        self.limit = limit
+        self.offset = offset
+        self.budget = budget
+        self.columns = child.columns
+        self.children = [child]
+
+    def rows(self) -> Iterator[tuple]:
+        if self.limit is not None and self.limit <= 0:
+            return
+        skipped = 0
+        delivered = 0
+        for row in self.child.rows():
+            if self.budget is not None:
+                self.budget.take()
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            yield row
+            delivered += 1
+            if self.limit is not None and delivered >= self.limit:
+                return
+
+    def describe(self) -> str:
+        parts = []
+        if self.limit is not None:
+            parts.append(f"limit {self.limit}")
+        if self.offset:
+            parts.append(f"offset {self.offset}")
+        text = " ".join(parts) or "limit"
+        if self.budget is not None:
+            text += " [row budget pushed into graph_table scans]"
+        return text
+
+
+class Union(Operator):
+    """UNION [ALL]; plain UNION deduplicates with a streaming seen-set."""
+
+    def __init__(self, left: Operator, right: Operator, all_rows: bool):
+        if len(left.columns) != len(right.columns):
+            raise SqlError(
+                f"UNION arity mismatch: {len(left.columns)} vs "
+                f"{len(right.columns)} columns"
+            )
+        self.left = left
+        self.right = right
+        self.all_rows = all_rows
+        self.columns = left.columns
+        self.children = [left, right]
+
+    def rows(self) -> Iterator[tuple]:
+        if self.all_rows:
+            yield from self.left.rows()
+            yield from self.right.rows()
+            return
+        seen: set[tuple] = set()
+        for side in (self.left, self.right):
+            for row in side.rows():
+                key = _row_key(row)
+                if key not in seen:
+                    seen.add(key)
+                    yield row
+
+    def describe(self) -> str:
+        return "union all" if self.all_rows else "union (distinct)"

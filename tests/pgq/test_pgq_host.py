@@ -189,6 +189,21 @@ class TestGraphTable:
         with pytest.raises(PgqError):
             graph_table(fig1, "MATCH (x:Account)")
 
+    def test_parse_errors_carry_the_table_name(self, fig1):
+        """Multi-GRAPH_TABLE queries need to know which table is broken."""
+        with pytest.raises(PgqError, match="in GRAPH_TABLE 'blocked'"):
+            graph_table(fig1, "MATCH (x:Account)", name="blocked")
+        with pytest.raises(PgqError, match="in GRAPH_TABLE 'syntax'"):
+            graph_table(fig1, "MATCH (x:Account] COLUMNS (x.owner)", name="syntax")
+        with pytest.raises(PgqError, match="in GRAPH_TABLE 'graph_table'"):
+            # the default name still appears
+            graph_table(fig1, "MATCH (x:Account) COLUMNS (x.owner) trailing")
+
+    def test_limit_keeps_prefix(self, fig1):
+        full = graph_table(fig1, "MATCH (x:Account) COLUMNS (x.owner)")
+        limited = graph_table(fig1, "MATCH (x:Account) COLUMNS (x.owner)", limit=2)
+        assert limited.rows == full.rows[:2]
+
     def test_sql_composition_on_result(self, fig1):
         table = graph_table(
             fig1,

@@ -132,6 +132,78 @@ class TestGroupBy:
             t.group_by(["grp"], {"s": ("SUM", "*")})
 
 
+class TestEdgeCases:
+    """Corner cases the SQL executor leans on (empty inputs, NULLs,
+    duplicate names)."""
+
+    def test_join_with_empty_right_side(self, accounts):
+        empty = Table(["ID2", "extra"], [], name="empty")
+        joined = accounts.rename({"ID": "ID2"}).join(empty, [("ID2", "ID2")])
+        assert len(joined) == 0
+        assert joined.columns == ("ID2", "owner", "amount", "extra")
+
+    def test_join_with_empty_left_side(self, accounts):
+        empty = Table(["K"], [], name="empty")
+        joined = empty.join(accounts.rename({"ID": "K"}), [("K", "K")])
+        assert len(joined) == 0
+
+    def test_join_of_two_empty_tables(self):
+        a = Table(["x"], [])
+        b = Table(["y", "x2"], [])
+        assert len(a.join(b.rename({"x2": "x"}), [("x", "x")])) == 0
+
+    def test_join_duplicate_column_aliases_rejected(self, accounts):
+        other = Table(["ID", "owner"], [("a1", "Someone")], name="other")
+        renamed = other.rename({"ID": "ref"})
+        with pytest.raises(TableError, match="duplicate|rename"):
+            accounts.join(renamed, [("ID", "ref")])
+
+    def test_union_all_arity_mismatch(self, accounts):
+        with pytest.raises(TableError, match="UNION ALL"):
+            accounts.union_all(Table(["only"], [(1,)]))
+
+    def test_where_null_arithmetic_is_unknown(self, accounts):
+        # NULL + 1 is NULL; a NULL comparison is UNKNOWN -> row dropped
+        assert len(accounts.where("amount + 1 > 0")) == 3
+
+    def test_where_is_null_predicates(self, accounts):
+        assert accounts.where("amount IS NULL").to_dicts()[0]["owner"] == "Mike"
+        assert len(accounts.where("amount IS NOT NULL")) == 3
+
+    def test_aggregates_ignore_null_inputs(self, accounts):
+        grouped = accounts.extend("grp", lambda row: "g").group_by(
+            ["grp"],
+            {
+                "n_rows": ("COUNT", "*"),
+                "n_amounts": ("COUNT", "amount"),
+                "total": ("SUM", "amount"),
+                "mean": ("AVG", "amount"),
+            },
+        )
+        [row] = grouped.to_dicts()
+        assert row["n_rows"] == 4
+        assert row["n_amounts"] == 3  # Mike's NULL not counted
+        assert row["total"] == 22
+        assert row["mean"] == pytest.approx(22 / 3)
+
+    def test_group_by_treats_nulls_as_one_group(self, accounts):
+        grouped = accounts.extend(
+            "bucket", lambda row: NULL if is_null(row["amount"]) else "known"
+        ).group_by(["bucket"], {"n": ("COUNT", "*")})
+        counts = {repr(d["bucket"]): d["n"] for d in grouped.to_dicts()}
+        assert counts[repr(NULL)] == 1
+
+    def test_distinct_on_empty_table(self):
+        assert len(Table(["a"], []).distinct()) == 0
+
+    def test_order_by_empty_table(self):
+        assert len(Table(["a"], []).order_by(["a"])) == 0
+
+    def test_unknown_column_names_table(self, accounts):
+        with pytest.raises(TableError, match="accounts"):
+            accounts.project(["nope"])
+
+
 class TestDisplay:
     def test_pretty(self, accounts):
         text = accounts.pretty(max_rows=2)

@@ -1,0 +1,111 @@
+"""Database session ergonomics and the ``repro sql`` CLI subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import SqlError
+from repro.pgq import Catalog, Table
+from repro.sql import Database
+
+
+class TestDatabase:
+    def test_wraps_existing_catalog(self, fig1):
+        catalog = Catalog()
+        catalog.register_table("T", Table(["x"], [(1,)], name="T"))
+        catalog.register_graph("g", fig1)
+        database = Database(catalog)
+        assert list(database.execute("SELECT x FROM T").rows) == [(1,)]
+        assert database.graph("g") is fig1
+
+    def test_unknown_lookups_list_known_names(self, fig1):
+        database = Database()
+        database.register_graph("fig1", fig1)
+        with pytest.raises(SqlError, match="known graphs: fig1"):
+            database.graph("other")
+        with pytest.raises(SqlError, match="known tables: <none>"):
+            database.table("missing")
+
+    def test_execute_iter_rejects_non_select(self):
+        database = Database()
+        with pytest.raises(SqlError, match="only streams SELECT"):
+            next(database.execute_iter("CREATE PROPERTY GRAPH g VERTEX TABLES (t)"))
+
+    def test_explain_accepts_explain_prefix(self, fig1):
+        database = Database()
+        database.register_graph("fig1", fig1)
+        query = (
+            "SELECT g.o FROM GRAPH_TABLE(fig1 MATCH (a:Account) "
+            "COLUMNS (a.owner AS o)) AS g"
+        )
+        assert database.explain(query) == database.explain(f"EXPLAIN {query}")
+
+    def test_top_level_export(self):
+        import repro
+
+        assert repro.Database is Database
+
+
+class TestCliSql:
+    QUERY = (
+        "SELECT g.src FROM GRAPH_TABLE(figure1 "
+        "MATCH (a:Account)-[t:Transfer]->(b) COLUMNS (a.owner AS src)) AS g "
+        "ORDER BY g.src LIMIT 2"
+    )
+
+    def test_runs_query(self, capsys):
+        assert main(["sql", self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "src" in out and "Aretha" in out
+
+    def test_tabular_tables_preloaded(self, capsys):
+        assert main([
+            "sql",
+            "SELECT owner FROM Account WHERE isBlocked = 'no' ORDER BY owner LIMIT 1",
+        ]) == 0
+        assert "Aretha" in capsys.readouterr().out
+
+    def test_join_graph_table_against_base_table(self, capsys):
+        query = (
+            "SELECT g.src, acc.isBlocked FROM GRAPH_TABLE(figure1 "
+            "MATCH (a:Account)-[t:Transfer]->(b) COLUMNS (a.owner AS src)) AS g "
+            "JOIN Account AS acc ON acc.owner = g.src ORDER BY g.src LIMIT 1"
+        )
+        assert main(["sql", query]) == 0
+        assert "Aretha" in capsys.readouterr().out
+
+    def test_explain_flag(self, capsys):
+        assert main(["sql", "--explain", self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "graph_table scan figure1" in out
+        assert "[streaming]" in out
+
+    def test_stats_flag(self, capsys):
+        assert main(["sql", "--stats", self.QUERY]) == 0
+        assert "matcher steps" in capsys.readouterr().out
+
+    def test_double_quotes_normalized(self, capsys):
+        query = self.QUERY.replace(
+            "ORDER BY g.src LIMIT 2", 'WHERE g.src = "Dave" LIMIT 1'
+        )
+        assert main(["sql", query]) == 0
+        assert "Dave" in capsys.readouterr().out
+
+    def test_single_quoted_literals_keep_double_quotes(self, capsys):
+        assert main(["sql", "SELECT 'say \"hi\"' AS s"]) == 0
+        assert 'say "hi"' in capsys.readouterr().out
+
+    def test_sql_error_reported(self, capsys):
+        assert main(["sql", "SELECT x FROM nowhere"]) == 1
+        assert "unknown table" in capsys.readouterr().err
+
+    def test_syntax_error_reported(self, capsys):
+        assert main(["sql", "SELECT FROM"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_graph_file(self, capsys):
+        assert main(["sql", "--graph", "/no/such/file.json", self.QUERY]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_gpml_cli_still_works(self, capsys):
+        assert main(["MATCH (x:Account WHERE x.owner='Dave')"]) == 0
+        assert "(1 row(s))" in capsys.readouterr().out

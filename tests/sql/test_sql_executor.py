@@ -1,0 +1,353 @@
+"""Relational-executor tests: operators, NULL semantics, error paths."""
+
+import pytest
+
+from repro.errors import SqlError
+from repro.pgq import Table
+from repro.sql import Database
+from repro.values import NULL, is_null
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.register_table(
+        "accounts",
+        Table(
+            ["id", "owner", "balance", "city"],
+            [
+                (1, "Scott", 100, "Ankh"),
+                (2, "Aretha", 250, "Ankh"),
+                (3, "Mike", NULL, "Quirm"),
+                (4, "Jay", 250, NULL),
+            ],
+            name="accounts",
+        ),
+    )
+    database.register_table(
+        "cities",
+        Table(
+            ["name", "country"],
+            [("Ankh", "Zembla"), ("Quirm", "Zembla"), ("Genua", "Elsewhere")],
+            name="cities",
+        ),
+    )
+    database.register_table("empty", Table(["id", "x"], [], name="empty"))
+    return database
+
+
+def rows(table):
+    return list(table.rows)
+
+
+class TestProjectionAndFilter:
+    def test_select_columns(self, db):
+        table = db.execute("SELECT owner, balance FROM accounts")
+        assert table.columns == ("owner", "balance")
+        assert len(table) == 4
+
+    def test_select_star(self, db):
+        table = db.execute("SELECT * FROM accounts")
+        assert table.columns == ("id", "owner", "balance", "city")
+
+    def test_expressions_and_aliases(self, db):
+        table = db.execute("SELECT balance * 2 AS double FROM accounts WHERE id = 1")
+        assert rows(table) == [(200,)]
+
+    def test_default_output_names(self, db):
+        table = db.execute("SELECT a.owner, balance + 1 FROM accounts a LIMIT 1")
+        assert table.columns == ("owner", "col2")
+
+    def test_where_three_valued_logic(self, db):
+        # Mike's balance is NULL -> comparison UNKNOWN -> row dropped
+        table = db.execute("SELECT owner FROM accounts WHERE balance >= 100")
+        assert rows(table) == [("Scott",), ("Aretha",), ("Jay",)]
+
+    def test_is_null_predicate(self, db):
+        table = db.execute("SELECT owner FROM accounts WHERE balance IS NULL")
+        assert rows(table) == [("Mike",)]
+        table = db.execute(
+            "SELECT owner FROM accounts WHERE city IS NOT NULL AND balance IS NOT NULL"
+        )
+        assert rows(table) == [("Scott",), ("Aretha",)]
+
+    def test_no_from_single_row(self, db):
+        assert rows(db.execute("SELECT 1 + 2 AS three, 'x' AS tag")) == [(3, "x")]
+
+    def test_distinct(self, db):
+        table = db.execute("SELECT DISTINCT country FROM cities")
+        assert rows(table) == [("Zembla",), ("Elsewhere",)]
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        table = db.execute(
+            "SELECT a.owner, c.country FROM accounts a "
+            "JOIN cities c ON c.name = a.city ORDER BY a.owner"
+        )
+        assert rows(table) == [
+            ("Aretha", "Zembla"), ("Mike", "Zembla"), ("Scott", "Zembla"),
+        ]
+
+    def test_null_keys_never_join(self, db):
+        # Jay's city is NULL: no match even against NULL on the other side
+        table = db.execute(
+            "SELECT a.owner FROM accounts a JOIN cities c ON a.city = c.name"
+        )
+        assert ("Jay",) not in rows(table)
+
+    def test_join_with_empty_table(self, db):
+        table = db.execute(
+            "SELECT a.owner FROM accounts a JOIN empty e ON e.id = a.id"
+        )
+        assert rows(table) == []
+        table = db.execute(
+            "SELECT a.owner FROM empty e JOIN accounts a ON e.id = a.id"
+        )
+        assert rows(table) == []
+
+    def test_cross_join(self, db):
+        table = db.execute("SELECT a.owner, c.name FROM accounts a, cities c")
+        assert len(table) == 12
+
+    def test_cross_join_with_where_as_theta(self, db):
+        table = db.execute(
+            "SELECT a.owner FROM accounts a, cities c "
+            "WHERE a.city = c.name AND c.country = 'Zembla' ORDER BY a.owner"
+        )
+        assert rows(table) == [("Aretha",), ("Mike",), ("Scott",)]
+
+    def test_non_equi_join_residual(self, db):
+        table = db.execute(
+            "SELECT a.owner, b.owner FROM accounts a "
+            "JOIN accounts b ON a.balance > b.balance"
+        )
+        # colliding default names keep their qualified spelling
+        assert table.columns == ("a.owner", "b.owner")
+        assert rows(table) == [("Aretha", "Scott"), ("Jay", "Scott")]
+
+    def test_join_mixed_equi_and_residual(self, db):
+        table = db.execute(
+            "SELECT a.owner, b.owner FROM accounts a "
+            "JOIN accounts b ON a.balance = b.balance AND a.id < b.id"
+        )
+        assert rows(table) == [("Aretha", "Jay")]
+
+    def test_qualified_disambiguation(self, db):
+        with pytest.raises(SqlError, match="ambiguous column 'owner'"):
+            db.execute("SELECT owner FROM accounts a JOIN accounts b ON a.id = b.id")
+
+    def test_star_qualifies_duplicates(self, db):
+        table = db.execute(
+            "SELECT * FROM accounts a JOIN accounts b ON b.id = a.id LIMIT 1"
+        )
+        assert table.columns == (
+            "a.id", "a.owner", "a.balance", "a.city",
+            "b.id", "b.owner", "b.balance", "b.city",
+        )
+        # non-colliding names stay bare
+        table = db.execute(
+            "SELECT * FROM accounts a JOIN cities c ON c.name = a.city LIMIT 1"
+        )
+        assert table.columns == ("id", "owner", "balance", "city", "name", "country")
+
+    def test_duplicate_alias_rejected(self, db):
+        with pytest.raises(SqlError, match="duplicate table name/alias"):
+            db.execute("SELECT 1 FROM accounts a, cities a")
+
+
+class TestAggregation:
+    def test_group_by(self, db):
+        table = db.execute(
+            "SELECT city, COUNT(*) AS n FROM accounts GROUP BY city ORDER BY n DESC"
+        )
+        assert rows(table) == [("Ankh", 2), ("Quirm", 1), (NULL, 1)]
+
+    def test_aggregates_skip_nulls(self, db):
+        table = db.execute(
+            "SELECT COUNT(*) AS all_rows, COUNT(balance) AS with_balance, "
+            "SUM(balance) AS total, MIN(balance) AS low, MAX(balance) AS high, "
+            "AVG(balance) AS mean FROM accounts"
+        )
+        assert rows(table) == [(4, 3, 600, 100, 250, 200.0)]
+
+    def test_aggregate_over_empty_input(self, db):
+        table = db.execute("SELECT COUNT(*) AS n, SUM(x) AS s FROM empty")
+        [(n, s)] = rows(table)
+        assert n == 0 and is_null(s)
+
+    def test_count_distinct(self, db):
+        table = db.execute("SELECT COUNT(DISTINCT balance) AS n FROM accounts")
+        assert rows(table) == [(2,)]
+
+    def test_having(self, db):
+        table = db.execute(
+            "SELECT city, COUNT(*) AS n FROM accounts "
+            "WHERE city IS NOT NULL GROUP BY city HAVING COUNT(*) > 1"
+        )
+        assert rows(table) == [("Ankh", 2)]
+
+    def test_group_key_addressable_unqualified(self, db):
+        table = db.execute(
+            "SELECT city FROM accounts a GROUP BY a.city ORDER BY city"
+        )
+        assert rows(table) == [("Ankh",), ("Quirm",), (NULL,)]
+
+    def test_group_by_expression(self, db):
+        table = db.execute(
+            "SELECT balance / 50 AS bucket, COUNT(*) AS n FROM accounts "
+            "WHERE balance IS NOT NULL GROUP BY balance / 50 ORDER BY bucket"
+        )
+        assert rows(table) == [(2.0, 1), (5.0, 2)]
+
+    def test_listagg(self, db):
+        table = db.execute(
+            "SELECT LISTAGG(owner, '; ') AS names FROM accounts WHERE balance = 250"
+        )
+        assert rows(table) == [("Aretha; Jay",)]
+
+    def test_order_by_aggregate(self, db):
+        table = db.execute(
+            "SELECT city FROM accounts WHERE city IS NOT NULL "
+            "GROUP BY city ORDER BY COUNT(*) DESC"
+        )
+        assert rows(table) == [("Ankh",), ("Quirm",)]
+
+
+class TestAggregateMisuse:
+    def test_aggregate_in_where(self, db):
+        with pytest.raises(SqlError, match="not allowed in WHERE"):
+            db.execute("SELECT owner FROM accounts WHERE COUNT(*) > 1")
+
+    def test_non_grouped_column(self, db):
+        with pytest.raises(SqlError, match="must appear in GROUP BY"):
+            db.execute("SELECT owner, COUNT(*) FROM accounts GROUP BY city")
+
+    def test_star_with_group_by(self, db):
+        with pytest.raises(SqlError, match="SELECT \\*"):
+            db.execute("SELECT * FROM accounts GROUP BY city")
+
+    def test_nested_aggregate(self, db):
+        with pytest.raises(SqlError, match="nested aggregate"):
+            db.execute("SELECT SUM(COUNT(*)) FROM accounts")
+
+    def test_aggregate_in_join_condition(self, db):
+        with pytest.raises(SqlError, match="not allowed in ON"):
+            db.execute(
+                "SELECT 1 FROM accounts a JOIN cities c ON COUNT(*) = a.id"
+            )
+
+
+class TestOrderLimitUnion:
+    def test_order_by_nulls_last(self, db):
+        table = db.execute("SELECT owner, balance FROM accounts ORDER BY balance, owner")
+        assert rows(table) == [
+            ("Scott", 100), ("Aretha", 250), ("Jay", 250), ("Mike", NULL),
+        ]
+
+    def test_order_by_alias(self, db):
+        table = db.execute(
+            "SELECT owner, balance * 2 AS twice FROM accounts "
+            "WHERE balance IS NOT NULL ORDER BY twice DESC, owner LIMIT 2"
+        )
+        assert rows(table) == [("Aretha", 500), ("Jay", 500)]
+
+    def test_order_by_mixed_int_float(self, db):
+        db.register_table(
+            "nums", Table(["x"], [(2,), (2.5,), (1,), (1.5,)], name="nums")
+        )
+        table = db.execute("SELECT x FROM nums ORDER BY x")
+        assert rows(table) == [(1,), (1.5,), (2,), (2.5,)]
+
+    def test_order_by_ordinal(self, db):
+        table = db.execute("SELECT owner, balance FROM accounts ORDER BY 2 DESC, 1")
+        assert rows(table) == [
+            ("Mike", NULL), ("Aretha", 250), ("Jay", 250), ("Scott", 100),
+        ]
+
+    def test_order_by_ordinal_on_union(self, db):
+        table = db.execute(
+            "SELECT owner AS name FROM accounts UNION SELECT name FROM cities "
+            "ORDER BY 1 LIMIT 2"
+        )
+        assert rows(table) == [("Ankh",), ("Aretha",)]
+
+    def test_order_by_ordinal_out_of_range(self, db):
+        with pytest.raises(SqlError, match="position 3 is not in the select list"):
+            db.execute("SELECT owner, balance FROM accounts ORDER BY 3")
+
+    def test_order_by_non_integer_constant_rejected(self, db):
+        with pytest.raises(SqlError, match="non-integer constant"):
+            db.execute("SELECT owner FROM accounts ORDER BY 'x'")
+
+    def test_order_by_non_output_column(self, db):
+        table = db.execute("SELECT owner FROM accounts ORDER BY id DESC")
+        assert rows(table) == [("Jay",), ("Mike",), ("Aretha",), ("Scott",)]
+
+    def test_order_by_distinct_requires_output_column(self, db):
+        with pytest.raises(SqlError, match="DISTINCT"):
+            db.execute("SELECT DISTINCT owner FROM accounts ORDER BY id")
+
+    def test_limit_offset(self, db):
+        table = db.execute("SELECT owner FROM accounts ORDER BY id LIMIT 2 OFFSET 1")
+        assert rows(table) == [("Aretha",), ("Mike",)]
+
+    def test_limit_zero(self, db):
+        assert rows(db.execute("SELECT owner FROM accounts LIMIT 0")) == []
+
+    def test_fetch_first(self, db):
+        table = db.execute("SELECT owner FROM accounts ORDER BY id FETCH FIRST 1 ROW ONLY")
+        assert rows(table) == [("Scott",)]
+
+    def test_union_distinct_and_all(self, db):
+        union = db.execute(
+            "SELECT country FROM cities UNION SELECT country FROM cities"
+        )
+        assert rows(union) == [("Zembla",), ("Elsewhere",)]
+        union_all = db.execute(
+            "SELECT country FROM cities UNION ALL SELECT country FROM cities"
+        )
+        assert len(union_all) == 6
+
+    def test_union_order_limit(self, db):
+        table = db.execute(
+            "SELECT owner AS name FROM accounts UNION SELECT name FROM cities "
+            "ORDER BY name LIMIT 3"
+        )
+        assert rows(table) == [("Ankh",), ("Aretha",), ("Genua",)]
+
+    def test_union_arity_mismatch(self, db):
+        with pytest.raises(SqlError, match="arity"):
+            db.execute("SELECT owner, id FROM accounts UNION SELECT name FROM cities")
+
+
+class TestErrorPaths:
+    def test_unknown_table(self, db):
+        with pytest.raises(SqlError, match="unknown table 'nope'"):
+            db.execute("SELECT x FROM nope")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(SqlError, match="unknown column 'shoe_size'"):
+            db.execute("SELECT shoe_size FROM accounts")
+
+    def test_unknown_qualified_column(self, db):
+        with pytest.raises(SqlError, match="unknown column a.shoe_size"):
+            db.execute("SELECT a.shoe_size FROM accounts a")
+
+    def test_unknown_table_alias(self, db):
+        with pytest.raises(SqlError, match="unknown table alias 'b'"):
+            db.execute("SELECT b.owner FROM accounts a")
+
+    def test_duplicate_output_alias(self, db):
+        with pytest.raises(SqlError, match="duplicate output column 'x'"):
+            db.execute("SELECT id AS x, owner AS x FROM accounts")
+
+    def test_graph_predicate_rejected_in_sql(self, db):
+        with pytest.raises(SqlError, match="graph pattern predicate"):
+            db.execute("SELECT owner FROM accounts WHERE SAME(a, b)")
+
+    def test_execute_iter_streams_dicts(self, db):
+        records = db.execute_iter("SELECT owner FROM accounts ORDER BY id LIMIT 2")
+        assert next(records) == {"owner": "Scott"}
+        assert next(records) == {"owner": "Aretha"}
+        assert next(records, None) is None

@@ -1,0 +1,267 @@
+"""GRAPH_TABLE as a table operator: pushdown, budgets, EXPLAIN, joins."""
+
+import pytest
+
+from repro.gpml import PipelineStats
+from repro.pgq import Table, tabular_representation
+from repro.sql import Database
+from repro.values import NULL
+
+
+@pytest.fixture()
+def db(fig1):
+    database = Database()
+    database.register_graph("fig1", fig1)
+    for name, table in tabular_representation(fig1).items():
+        database.register_table(name, table)
+    return database
+
+
+TRANSFERS = (
+    "GRAPH_TABLE(fig1 MATCH (a:Account)-[t:Transfer]->(b:Account) "
+    "COLUMNS (a.owner AS src, b.owner AS dst, t.amount AS amount)) AS gt"
+)
+
+
+class TestBasics:
+    def test_select_over_graph_table(self, db):
+        table = db.execute(f"SELECT gt.src, gt.amount FROM {TRANSFERS} ORDER BY gt.amount DESC, gt.src LIMIT 2")
+        assert list(table.rows) == [("Aretha", 10_000_000), ("Dave", 10_000_000)]
+
+    def test_matches_standalone_graph_table(self, db, fig1):
+        from repro.pgq import graph_table
+
+        sql_rows = sorted(db.execute(f"SELECT * FROM {TRANSFERS}").rows)
+        standalone = graph_table(
+            fig1,
+            "MATCH (a:Account)-[t:Transfer]->(b:Account) "
+            "COLUMNS (a.owner AS src, b.owner AS dst, t.amount AS amount)",
+        )
+        assert sql_rows == sorted(standalone.rows)
+
+    def test_unaliased_graph_table(self, db):
+        table = db.execute(
+            "SELECT src FROM GRAPH_TABLE(fig1 MATCH (a:Account)-[t:Transfer]->(b) "
+            "COLUMNS (a.owner AS src)) ORDER BY src LIMIT 1"
+        )
+        assert list(table.rows) == [("Aretha",)]
+
+    def test_join_graph_table_with_base_table(self, db):
+        table = db.execute(
+            f"SELECT gt.src, acc.isBlocked FROM {TRANSFERS} "
+            "JOIN Account AS acc ON acc.owner = gt.src "
+            "WHERE gt.amount >= 10M AND acc.isBlocked = 'no' "
+            "ORDER BY gt.src"
+        )
+        assert list(table.rows) == [
+            ("Aretha", "no"), ("Dave", "no"), ("Mike", "no"),
+        ]
+
+    def test_two_graph_tables_join(self, db):
+        table = db.execute(
+            "SELECT hop1.src, hop2.dst FROM "
+            "GRAPH_TABLE(fig1 MATCH (a:Account)-[t:Transfer]->(b:Account) "
+            "COLUMNS (a.owner AS src, b.owner AS dst)) AS hop1 "
+            "JOIN GRAPH_TABLE(fig1 MATCH (c:Account)-[u:Transfer]->(d:Account) "
+            "COLUMNS (c.owner AS src, d.owner AS dst)) AS hop2 "
+            "ON hop2.src = hop1.dst "
+            "WHERE hop1.src = 'Scott' ORDER BY hop2.dst"
+        )
+        assert list(table.rows) == [("Scott", "Aretha"), ("Scott", "Charles")]
+
+    def test_group_variable_aggregates_in_columns(self, db):
+        table = db.execute(
+            "SELECT route.hops, route.moved FROM "
+            "GRAPH_TABLE(fig1 MATCH TRAIL (a WHERE a.owner='Dave')-[e:Transfer]->* "
+            "(b WHERE b.owner='Aretha') "
+            "COLUMNS (COUNT(e) AS hops, SUM(e.amount) AS moved)) AS route "
+            "ORDER BY route.hops"
+        )
+        assert list(table.rows) == [(2, 20_000_000), (4, 31_000_000), (5, 43_000_000)]
+
+    def test_ddl_then_graph_table(self):
+        database = Database()
+        database.register_table(
+            "P", Table(["id", "name"], [(1, "x"), (2, "y")], name="P")
+        )
+        database.register_table(
+            "E", Table(["id", "s", "d"], [(10, 1, 2)], name="E")
+        )
+        graph = database.execute(
+            "CREATE PROPERTY GRAPH g VERTEX TABLES (P KEY (id) LABEL P PROPERTIES (name)) "
+            "EDGE TABLES (E KEY (id) SOURCE KEY (s) REFERENCES P "
+            "DESTINATION KEY (d) REFERENCES P LABEL E)"
+        )
+        assert graph.num_nodes == 2
+        table = database.execute(
+            "SELECT g.a, g.b FROM GRAPH_TABLE(g MATCH (x:P)-[e:E]->(y:P) "
+            "COLUMNS (x.name AS a, y.name AS b)) AS g"
+        )
+        assert list(table.rows) == [("x", "y")]
+
+
+class TestPredicatePushdown:
+    def test_pushed_and_unpushed_agree(self, db):
+        query = (
+            f"SELECT gt.dst FROM {TRANSFERS} "
+            "WHERE gt.src = 'Mike' AND gt.amount > 5M ORDER BY gt.dst"
+        )
+        pushed = db.execute(query)
+        unpushed = db.execute(query, pushdown=False)
+        assert pushed.rows == unpushed.rows == [("Aretha",), ("Charles",)]
+
+    def test_pushdown_reduces_matcher_steps(self, db):
+        query = f"SELECT gt.dst FROM {TRANSFERS} WHERE gt.src = 'Dave'"
+        pushed, unpushed = PipelineStats(), PipelineStats()
+        db.execute(query, stats=pushed)
+        db.execute(query, stats=unpushed, pushdown=False)
+        # the pushed predicate narrows the anchor candidates, so the
+        # search expands fewer edges and delivers fewer raw matches
+        assert pushed.matches < unpushed.matches
+        assert pushed.steps < unpushed.steps
+
+    def test_pushed_predicate_shown_in_explain(self, db):
+        plan = db.explain(f"SELECT gt.dst FROM {TRANSFERS} WHERE gt.src = 'Dave'")
+        assert "pushed into MATCH: a.owner = 'Dave'" in plan
+        assert "[streaming]" in plan  # embedded GPML pipeline section
+
+    def test_multi_table_conjunct_not_pushed(self, db):
+        plan = db.explain(
+            f"SELECT gt.dst FROM {TRANSFERS} "
+            "JOIN Account AS acc ON acc.owner = gt.src "
+            "WHERE gt.amount > acc.ID"
+        )
+        assert "pushed into MATCH" not in plan
+
+    def test_aggregate_columns_not_pushed(self, db):
+        # `hops` is defined by COUNT(e), a horizontal aggregate — the SQL
+        # value space differs from any scalar GPML rewrite, so the
+        # predicate must stay a relational filter
+        query = (
+            "SELECT r.hops FROM GRAPH_TABLE(fig1 "
+            "MATCH TRAIL (a WHERE a.owner='Dave')-[e:Transfer]->*(b) "
+            "COLUMNS (COUNT(e) AS hops)) AS r WHERE r.hops > 2"
+        )
+        plan = db.explain(query)
+        assert "pushed into MATCH" not in plan
+        assert "filter" in plan
+        assert db.execute(query).rows == db.execute(query, pushdown=False).rows
+
+    def test_element_projection_not_pushed(self, db):
+        # COLUMNS (t) projects the edge as its id; `= 't1'` compares ids in
+        # SQL but elements in GPML — unsound, so no pushdown
+        query = (
+            "SELECT g.edge FROM GRAPH_TABLE(fig1 MATCH (a)-[t:Transfer]->(b) "
+            "COLUMNS (t AS edge)) AS g WHERE g.edge = 't1'"
+        )
+        plan = db.explain(query)
+        assert "pushed into MATCH" not in plan
+        assert list(db.execute(query).rows) == [("t1",)]
+
+    def test_keep_blocks_pushdown(self, db):
+        # KEEP selects after the final WHERE; strengthening the WHERE
+        # would change which rows KEEP sees
+        query = (
+            "SELECT g.src, g.dst FROM GRAPH_TABLE(fig1 "
+            "MATCH TRAIL (a:Account)-[t:Transfer]->+(b:Account) KEEP ANY SHORTEST "
+            "COLUMNS (a.owner AS src, b.owner AS dst)) AS g "
+            "WHERE g.src = 'Dave'"
+        )
+        plan = db.explain(query)
+        assert "pushed into MATCH" not in plan
+        assert db.execute(query).rows == db.execute(query, pushdown=False).rows
+
+    def test_pushdown_with_selector_agrees(self, db):
+        query = (
+            "SELECT g.src, g.dst, g.hops FROM GRAPH_TABLE(fig1 "
+            "MATCH ANY SHORTEST (a:Account)-[t:Transfer]->+(b:Account) "
+            "COLUMNS (a.owner AS src, b.owner AS dst, COUNT(t) AS hops)) AS g "
+            "WHERE g.src = 'Dave' ORDER BY g.dst, g.hops"
+        )
+        assert db.execute(query).rows == db.execute(query, pushdown=False).rows
+
+    def test_arithmetic_projection_pushes(self, db):
+        query = (
+            "SELECT g.m FROM GRAPH_TABLE(fig1 MATCH (a)-[t:Transfer]->(b) "
+            "COLUMNS (t.amount / 1000000 AS m)) AS g WHERE g.m >= 9"
+        )
+        plan = db.explain(query)
+        assert "pushed into MATCH: (t.amount / 1000000) >= 9" in plan
+        assert sorted(db.execute(query).rows) == sorted(
+            db.execute(query, pushdown=False).rows
+        )
+
+
+class TestRowBudgetPushdown:
+    def test_limit_stops_the_search(self, db):
+        full, limited = PipelineStats(), PipelineStats()
+        query = f"SELECT gt.src FROM {TRANSFERS}"
+        db.execute(query, stats=full)
+        db.execute(query + " LIMIT 1", stats=limited)
+        assert limited.steps < full.steps
+        assert limited.rows == 1
+
+    def test_limit_prefix_of_full_result(self, db):
+        query = f"SELECT gt.src, gt.dst FROM {TRANSFERS}"
+        full = db.execute(query)
+        limited = db.execute(query + " LIMIT 3")
+        assert list(limited.rows) == list(full.rows)[:3]
+
+    def test_offset_keeps_budget_sound(self, db):
+        query = f"SELECT gt.src, gt.dst FROM {TRANSFERS}"
+        full = db.execute(query)
+        page = db.execute(query + " LIMIT 2 OFFSET 2")
+        assert list(page.rows) == list(full.rows)[2:4]
+
+    def test_fetch_first_pushes_budget(self, db):
+        stats = PipelineStats()
+        db.execute(
+            f"SELECT gt.src FROM {TRANSFERS} FETCH FIRST 1 ROW ONLY", stats=stats
+        )
+        assert stats.rows == 1
+
+    def test_budget_through_filter(self, db):
+        # rows dropped by the SQL filter must not count against the budget
+        query = f"SELECT gt.src FROM {TRANSFERS} WHERE gt.amount > 9M"
+        full = db.execute(query, pushdown=False)
+        limited = db.execute(query + " LIMIT 2")
+        assert list(limited.rows) == list(full.rows)[:2]
+
+    def test_blocking_sort_consumes_before_budget(self, db):
+        query = f"SELECT gt.src, gt.amount FROM {TRANSFERS} ORDER BY gt.amount DESC, gt.src"
+        full = db.execute(query)
+        limited = db.execute(query + " LIMIT 1")
+        assert list(limited.rows) == list(full.rows)[:1]
+
+    def test_aggregate_sees_all_rows_despite_limit(self, db):
+        table = db.execute(f"SELECT COUNT(*) AS n FROM {TRANSFERS} LIMIT 1")
+        assert list(table.rows) == [(8,)]
+
+    def test_explain_select_returns_plan_table(self, db):
+        table = db.execute(f"EXPLAIN SELECT gt.src FROM {TRANSFERS} LIMIT 1")
+        assert table.columns == ("plan",)
+        text = "\n".join(line for (line,) in table.rows)
+        assert "graph_table scan fig1 AS gt" in text
+        assert "row budget" in text
+        assert "[streaming] pattern #1 search" in text
+
+    def test_union_of_graph_tables_with_limit(self, db):
+        query = (
+            "SELECT g.src FROM GRAPH_TABLE(fig1 MATCH (a:Account)-[t:Transfer]->(b) "
+            "COLUMNS (a.owner AS src)) AS g "
+            "UNION SELECT h.dst FROM GRAPH_TABLE(fig1 MATCH (c)-[u:Transfer]->(d:Account) "
+            "COLUMNS (d.owner AS dst)) AS h"
+        )
+        full = db.execute(query)
+        limited = db.execute(query + " LIMIT 2")
+        assert list(limited.rows) == list(full.rows)[:2]
+
+
+class TestNullSemantics:
+    def test_unbound_conditional_projects_null(self, db):
+        table = db.execute(
+            "SELECT g.who, g.num FROM GRAPH_TABLE(fig1 "
+            "MATCH (a:Account WHERE a.owner='Scott') (~[h:hasPhone]~(p:Phone))? "
+            "COLUMNS (a.owner AS who, p.number AS num)) AS g"
+        )
+        assert ("Scott", NULL) in list(table.rows)

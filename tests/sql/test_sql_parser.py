@@ -1,0 +1,197 @@
+"""Parser tests for the SQL subset (statement shapes and error paths)."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.gpml.expr import Comparison, Literal, PropertyRef, VarRef
+from repro.sql import parse_sql
+from repro.sql.ast import (
+    CreateGraphStatement,
+    ExplainStatement,
+    GraphTableRef,
+    SelectStatement,
+    SqlAggregate,
+    TableRef,
+)
+
+
+class TestSelectCore:
+    def test_minimal_select(self):
+        statement = parse_sql("SELECT x FROM t")
+        assert isinstance(statement, SelectStatement)
+        core = statement.cores[0]
+        assert core.items[0].expr == VarRef("x")
+        assert isinstance(core.sources[0].item, TableRef)
+        assert core.sources[0].item.name == "t"
+
+    def test_keywords_are_case_insensitive(self):
+        statement = parse_sql("select x from t where x > 1 order by x limit 2")
+        assert statement.limit == 2
+        assert statement.order_by[0].expr == VarRef("x")
+
+    def test_star(self):
+        core = parse_sql("SELECT * FROM t").cores[0]
+        assert core.items[0].expr is None
+
+    def test_aliases_with_and_without_as(self):
+        core = parse_sql("SELECT a.x AS first, a.y second FROM t AS a").cores[0]
+        assert core.items[0].alias == "first"
+        assert core.items[1].alias == "second"
+        assert core.sources[0].item.alias == "a"
+
+    def test_bare_table_alias(self):
+        core = parse_sql("SELECT x FROM accounts a").cores[0]
+        assert core.sources[0].item.name == "accounts"
+        assert core.sources[0].item.alias == "a"
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT x FROM t").cores[0].distinct
+
+    def test_no_from(self):
+        core = parse_sql("SELECT 1 + 1 AS two").cores[0]
+        assert core.sources == []
+
+    def test_where_group_having(self):
+        core = parse_sql(
+            "SELECT x, COUNT(*) FROM t WHERE y > 0 GROUP BY x HAVING COUNT(*) > 1"
+        ).cores[0]
+        assert isinstance(core.where, Comparison)
+        assert core.group_by == [VarRef("x")]
+        assert isinstance(core.having, Comparison)
+
+    def test_joins(self):
+        core = parse_sql(
+            "SELECT * FROM a JOIN b ON a.id = b.id INNER JOIN c ON c.id = b.id, d"
+        ).cores[0]
+        kinds = [source.kind for source in core.sources]
+        assert kinds == ["from", "join", "join", "cross"]
+        assert core.sources[1].on == Comparison(
+            "=", PropertyRef("a", "id"), PropertyRef("b", "id")
+        )
+        assert core.sources[3].on is None
+
+
+class TestSqlAggregates:
+    def test_count_star(self):
+        core = parse_sql("SELECT COUNT(*) FROM t").cores[0]
+        assert core.items[0].expr == SqlAggregate(func="COUNT", arg=None)
+
+    def test_sum_expression(self):
+        core = parse_sql("SELECT SUM(a.x + 1) FROM t a").cores[0]
+        aggregate = core.items[0].expr
+        assert isinstance(aggregate, SqlAggregate)
+        assert aggregate.func == "SUM"
+
+    def test_count_distinct(self):
+        core = parse_sql("SELECT COUNT(DISTINCT x) FROM t").cores[0]
+        assert core.items[0].expr.distinct
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SqlSyntaxError, match="only COUNT"):
+            parse_sql("SELECT SUM(*) FROM t")
+
+
+class TestOrderLimit:
+    def test_order_directions(self):
+        statement = parse_sql("SELECT x FROM t ORDER BY x DESC, y ASC, z")
+        directions = [item.descending for item in statement.order_by]
+        assert directions == [True, False, False]
+
+    def test_limit_offset(self):
+        statement = parse_sql("SELECT x FROM t LIMIT 5 OFFSET 2")
+        assert (statement.limit, statement.offset) == (5, 2)
+
+    def test_offset_before_limit(self):
+        statement = parse_sql("SELECT x FROM t OFFSET 2 ROWS LIMIT 5")
+        assert (statement.limit, statement.offset) == (5, 2)
+
+    def test_fetch_first(self):
+        statement = parse_sql("SELECT x FROM t FETCH FIRST 3 ROWS ONLY")
+        assert statement.limit == 3
+
+    def test_fetch_first_defaults_to_one(self):
+        assert parse_sql("SELECT x FROM t FETCH FIRST ROW ONLY").limit == 1
+
+    def test_duplicate_limit_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="duplicate LIMIT"):
+            parse_sql("SELECT x FROM t LIMIT 1 FETCH FIRST 2 ROWS ONLY")
+
+    def test_duplicate_offset_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="duplicate OFFSET"):
+            parse_sql("SELECT x FROM t OFFSET 1 OFFSET 2")
+
+
+class TestUnion:
+    def test_union_chain(self):
+        statement = parse_sql(
+            "SELECT x FROM a UNION SELECT x FROM b UNION ALL SELECT x FROM c"
+        )
+        assert statement.set_ops == ["UNION", "UNION ALL"]
+        assert len(statement.cores) == 3
+
+    def test_trailing_order_applies_to_union(self):
+        statement = parse_sql("SELECT x FROM a UNION SELECT x FROM b ORDER BY x")
+        assert len(statement.order_by) == 1
+
+
+class TestGraphTable:
+    QUERY = (
+        "SELECT g.src FROM GRAPH_TABLE(bank "
+        "MATCH (a:Account)-[t:Transfer]->(b) "
+        "COLUMNS (a.owner AS src, SUM(t.amount) AS total)) AS g"
+    )
+
+    def test_graph_table_ref(self):
+        core = parse_sql(self.QUERY).cores[0]
+        ref = core.sources[0].item
+        assert isinstance(ref, GraphTableRef)
+        assert ref.graph_name == "bank"
+        assert ref.alias == "g"
+        assert ref.statement.column_names == ["src", "total"]
+        assert ref.statement.pattern_text.strip().startswith("MATCH")
+        assert ref.pattern is not None  # parsed AST kept for pushdown
+
+    def test_columns_keep_gpml_aggregates(self):
+        """Inside COLUMNS, SUM is GPML's horizontal aggregate over group
+        variables — not the SQL vertical SqlAggregate."""
+        from repro.gpml.expr import Aggregate
+
+        ref = parse_sql(self.QUERY).cores[0].sources[0].item
+        assert isinstance(ref.statement.columns[1][1], Aggregate)
+
+    def test_missing_columns(self):
+        with pytest.raises(SqlSyntaxError, match="COLUMNS"):
+            parse_sql("SELECT x FROM GRAPH_TABLE(bank MATCH (a)) AS g")
+
+    def test_missing_match(self):
+        with pytest.raises(SqlSyntaxError, match="MATCH"):
+            parse_sql("SELECT x FROM GRAPH_TABLE(bank COLUMNS (a.x)) AS g")
+
+    def test_pattern_error_names_the_graph(self):
+        with pytest.raises(SqlSyntaxError, match="GRAPH_TABLE over 'bank'"):
+            parse_sql("SELECT x FROM GRAPH_TABLE(bank MATCH (a]->(b) COLUMNS (a.x)) AS g")
+
+
+class TestStatements:
+    def test_explain(self):
+        statement = parse_sql("EXPLAIN SELECT x FROM t")
+        assert isinstance(statement, ExplainStatement)
+        assert isinstance(statement.inner, SelectStatement)
+
+    def test_create_property_graph_passthrough(self):
+        text = "CREATE PROPERTY GRAPH g VERTEX TABLES (t)"
+        statement = parse_sql(text)
+        assert isinstance(statement, CreateGraphStatement)
+        assert statement.text == text
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT x FROM t nonsense extra ,")
+
+    def test_expression_error_becomes_sql_error(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_sql("SELECT x + FROM t")
+
+    def test_string_literals(self):
+        core = parse_sql("SELECT x FROM t WHERE name = 'O''Brien'").cores[0]
+        assert core.where == Comparison("=", VarRef("name"), Literal("O'Brien"))
