@@ -9,6 +9,8 @@ Usage::
     python -m repro --first 'MATCH (a)-[e]->(a)'
     python -m repro sql 'SELECT g.src FROM GRAPH_TABLE(figure1 MATCH
         (a:Account)-[t:Transfer]->(b) COLUMNS (a.owner AS src)) AS g LIMIT 3'
+    python -m repro gql 'MATCH (a:Account)-[t:Transfer]->(b)
+        MATCH (b)-[t2:Transfer]->(c) RETURN a.owner, c.owner LIMIT 5'
 
 With no ``--graph``, queries run against the paper's Figure 1 banking
 graph.  Single or double quotes work for string literals (double quotes
@@ -19,6 +21,15 @@ as the search discovers them, and a satisfied row budget terminates the
 search itself — a ``--first`` probe on a huge graph touches a handful of
 edges.  The table renderer streams too, so even unlimited queries emit
 output incrementally instead of materializing every row up front.
+
+``repro gql`` runs a full GQL read query — a linear statement pipeline
+(``MATCH`` / ``OPTIONAL MATCH`` / ``LET`` / ``FILTER`` chained before
+``RETURN``) — through the GQL host.  ``--explain`` prints the statement
+pipeline with per-statement [streaming]/[blocking] classification (and
+how a chained MATCH executes: seeded per incoming row, or hash join);
+``--stats`` reports matcher counters; ``--limit`` / ``--first`` tighten
+the query's LIMIT, and the shared row budget stops even the *first*
+statement's NFA search once satisfied.
 
 ``repro sql`` runs a statement through the SQL host engine instead.  The
 session's database contains the chosen graph (registered under its own
@@ -132,6 +143,86 @@ def build_sql_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_gql_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro gql",
+        description="Run GQL read queries (MATCH/OPTIONAL MATCH/LET/FILTER "
+        "statement pipelines ending in RETURN).",
+    )
+    parser.add_argument("query", help="a GQL read query")
+    parser.add_argument(
+        "--graph", metavar="FILE", default=None,
+        help="JSON graph file (default: the paper's Figure 1 banking graph)",
+    )
+    parser.add_argument(
+        "--limit", type=int, metavar="N", default=None,
+        help="tighten the query's LIMIT to at most N delivered records; "
+        "the shared row budget stops every statement's search once satisfied",
+    )
+    parser.add_argument(
+        "--first", action="store_true",
+        help="shorthand for --limit 1 (early-terminating probe)",
+    )
+    parser.add_argument(
+        "--explain", action="store_true",
+        help="print the statement pipeline (per-statement streaming/blocking "
+        "classification, chained-MATCH execution mode) instead of running",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="after execution, print matcher step/match/row counters",
+    )
+    return parser
+
+
+def gql_main(argv: list[str]) -> int:
+    import dataclasses
+
+    from repro.gpml.streaming import PipelineStats
+    from repro.gql.query import execute_gql_iter, explain_gql, parse_gql_query
+
+    args = build_gql_parser().parse_args(argv)
+    query = args.query
+    if "'" not in query:  # shell-friendly double quotes, as in `repro sql`
+        query = query.replace('"', "'")
+    limit = 1 if args.first else args.limit
+    if limit is not None and limit < 0:
+        print("error: --limit must be non-negative", file=sys.stderr)
+        return 1
+    try:
+        if args.explain:
+            print(explain_gql(query))
+            return 0
+        graph = _load_graph(args.graph)
+        parsed = parse_gql_query(query)
+        if limit is not None:
+            tightened = limit if parsed.limit is None else min(parsed.limit, limit)
+            parsed = dataclasses.replace(parsed, limit=tightened)
+        stats = PipelineStats() if args.stats else None
+        records = execute_gql_iter(graph, parsed, stats=stats)
+        columns = [item.alias for item in parsed.items]
+        header = " | ".join(columns)
+        print(header)
+        print("-" * len(header))
+        count = 0
+        for record in records:
+            count += 1
+            print(" | ".join(str(_to_ids(record[name])) for name in columns))
+        print(f"({count} record(s))")
+        if stats is not None:
+            print(
+                f"-- stats: {stats.steps} matcher steps, "
+                f"{stats.matches} raw matches, {stats.rows} delivered rows"
+            )
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
 def sql_main(argv: list[str]) -> int:
     from repro.gpml.streaming import PipelineStats
     from repro.pgq.tabular import tabular_representation
@@ -178,6 +269,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "sql":
         return sql_main(argv[1:])
+    if argv and argv[0] == "gql":
+        return gql_main(argv[1:])
     args = build_parser().parse_args(argv)
     # shells prefer double quotes; GPML strings use single quotes
     query = args.query.replace('"', "'")

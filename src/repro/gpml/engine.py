@@ -31,6 +31,9 @@ materializing wrappers :func:`match` / ``execute_gql`` produce exactly
 
 ``match(graph, "MATCH ...")`` is the one-call public entry point;
 ``prepare`` caches everything up to step 4 for repeated execution.
+:func:`iter_seeded_rows` is the anchored variant behind GQL's chained
+MATCH: it runs a single-pattern query from explicit start nodes (forward
+or reversed), one seeded search per upstream binding row.
 """
 
 from __future__ import annotations
@@ -50,7 +53,7 @@ from repro.gpml.analysis import (
     analyze,
 )
 from repro.gpml.automaton import PatternNFA, compile_path_pattern
-from repro.gpml.bindings import ReducedBinding, reduce_binding
+from repro.gpml.bindings import PathBinding, ReducedBinding, reduce_binding
 from repro.gpml.expr import EvalContext
 from repro.gpml.matcher import Matcher, MatcherConfig
 from repro.gpml.normalize import normalize_graph_pattern
@@ -443,24 +446,58 @@ def iter_solve_path_pattern(
             start_candidates=start, budget=budget, stats=stats,
         )
 
+    def record_candidates() -> None:
+        if pattern_plan is not None:
+            pattern_plan.observed_candidates = matcher.initial_candidate_count
+
+    return _iter_pattern_solutions(
+        graph, matcher, path, analysis, config,
+        reverse=reversed_run, on_finish=record_candidates,
+    )
+
+
+def _run_strategy(matcher: Matcher, path, analysis) -> Iterator[PathBinding]:
+    """Run the search strategy the analysis chose for one path pattern."""
     strategy = analysis.strategy
     if strategy == ENUMERATE:
-        raw = matcher.enumerate_all()
-    elif strategy == SHORTEST:
-        raw = matcher.search_shortest()
-    elif strategy == K_SEARCH:
-        raw = matcher.search_k_shortest(path.selector.k or 1)
-    elif strategy == CHEAPEST:
+        return matcher.enumerate_all()
+    if strategy == SHORTEST:
+        return matcher.search_shortest()
+    if strategy == K_SEARCH:
+        return matcher.search_k_shortest(path.selector.k or 1)
+    if strategy == CHEAPEST:
         selector = path.selector
-        raw = matcher.search_cheapest(selector.k or 1, selector.cost_property or "cost")
-    else:
-        raise GpmlEvaluationError(f"unknown strategy {strategy!r}")
+        return matcher.search_cheapest(
+            selector.k or 1, selector.cost_property or "cost"
+        )
+    raise GpmlEvaluationError(f"unknown strategy {strategy!r}")
+
+
+def _iter_pattern_solutions(
+    graph: PropertyGraph,
+    matcher: Matcher,
+    path,
+    analysis,
+    config: MatcherConfig,
+    *,
+    reverse: bool = False,
+    on_finish=None,
+) -> Iterator[ReducedBinding]:
+    """The shared solution stages of one pattern run: strategy search,
+    optional binding reversal, streaming reduce + dedup, selector breaker.
+
+    Used by both the planner-driven :func:`iter_solve_path_pattern` and
+    the seeded :func:`iter_seeded_rows`, so dedup keys, reversal and
+    selector handling cannot drift between the two paths.  ``on_finish``
+    runs when the search generator closes (normally or abandoned).
+    """
+    raw = _run_strategy(matcher, path, analysis)
 
     def solutions() -> Iterator[ReducedBinding]:
         seen: set[tuple] = set()
         try:
             for binding in raw:
-                if reversed_run:
+                if reverse:
                     binding = reverse_binding(binding)
                 reduced = reduce_binding(
                     binding, analysis.group_vars, analysis.anonymous_vars
@@ -471,8 +508,8 @@ def iter_solve_path_pattern(
                 seen.add(key)
                 yield reduced
         finally:
-            if pattern_plan is not None:
-                pattern_plan.observed_candidates = matcher.initial_candidate_count
+            if on_finish is not None:
+                on_finish()
 
     if path.selector is None:
         return solutions()
@@ -486,6 +523,73 @@ def iter_solve_path_pattern(
         )
 
     return selected()
+
+
+def iter_seeded_rows(
+    graph: PropertyGraph,
+    prepared: PreparedQuery,
+    config: MatcherConfig,
+    start_nodes: list[str],
+    *,
+    reversed_run: "Optional[tuple[ast.PathPattern, PatternNFA]]" = None,
+    budget: Optional[RowBudget] = None,
+    stats: Optional[PipelineStats] = None,
+) -> Iterator[BindingRow]:
+    """Binding rows of a single-pattern query anchored at explicit nodes.
+
+    This is the engine primitive behind GQL's chained ``MATCH``: a later
+    statement whose pattern pins an end element to a variable bound
+    upstream runs one seeded search per incoming binding row, starting
+    from exactly the bound node instead of every candidate in the graph.
+    ``reversed_run`` carries a pre-compiled reversed pattern + NFA (see
+    :mod:`repro.planner.anchor`) when the bound variable pins the *right*
+    end; accepted bindings are mapped back to forward orientation, so
+    everything downstream is orientation-blind.
+
+    Soundness mirrors the planner's anchor machinery: restricting the
+    start candidates to one node selects whole endpoint partitions, so
+    selectors and KEEP — which choose per endpoint partition — see
+    exactly the partitions a full run would have produced for that node.
+    The final WHERE and KEEP of the prepared pattern are applied here
+    (the caller strips them from ``prepared`` when they must instead see
+    upstream bindings).
+    """
+    if prepared.num_path_patterns != 1:
+        raise GpmlEvaluationError(
+            "iter_seeded_rows requires a single-pattern query; "
+            f"got {prepared.num_path_patterns} patterns"
+        )
+    path = prepared.normalized.paths[0]
+    analysis = prepared.analysis.paths[0]
+    if reversed_run is not None:
+        run_path, run_nfa = reversed_run
+    else:
+        run_path, run_nfa = path, prepared.nfas[0]
+    matcher = Matcher(
+        graph, run_nfa, run_path.pattern, config,
+        start_candidates=start_nodes, budget=budget, stats=stats,
+    )
+    # Selector note: a seeded run restricts the search to whole endpoint
+    # partitions, so the (blocking) selector stage is scoped to exactly
+    # this seed's partitions and selects what a full run would have.
+    selected = _iter_pattern_solutions(
+        graph, matcher, path, analysis, config, reverse=reversed_run is not None
+    )
+
+    def rows() -> Iterator[BindingRow]:
+        condition = prepared.normalized.where
+        for solution in selected:
+            values, path_obj = _materialize(graph, solution, analysis, path.path_var)
+            row = BindingRow(values, [path_obj])
+            if condition is not None and not condition.truth(
+                EvalContext(bindings=row.values, graph=graph)
+            ):
+                continue
+            yield row
+
+    if prepared.normalized.keep is None:
+        return rows()
+    return iter(_apply_keep(graph, list(rows()), prepared.normalized.keep))
 
 
 def solve_path_pattern(

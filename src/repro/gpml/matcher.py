@@ -85,6 +85,9 @@ class MatcherConfig:
     default_edge_cost: float = 1.0
     use_label_index: bool = True  # per-node label-filtered incidence lists
     use_planner: bool = True  # cost-based anchor/join planning (repro.planner)
+    #: seed a chained GQL MATCH from variables bound by earlier statements
+    #: (per-incoming-row anchored search; off = always hash-join fallback)
+    seed_chained_match: bool = True
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,10 @@ Three small primitives make early termination explicit:
   consumer calls :meth:`RowBudget.take` once per row it actually delivers;
   producers poll :attr:`RowBudget.satisfied` and abandon the search.  This
   is how GQL ``LIMIT``, ``Session.exists()`` and ``graph_table(...,
-  limit=N)`` stop the underlying NFA search itself.  It is distinct from
+  limit=N)`` stop the underlying NFA search itself.  One budget may be
+  shared by *many* producers: a GQL statement pipeline threads the same
+  token through every chained MATCH's searches, so a satisfied consumer
+  cancels even the first statement's exploration.  It is distinct from
   the *error-raising* safety budgets (``MatcherConfig.max_steps`` /
   ``max_results``), which exist to catch pathological queries.
 * :class:`PipelineStats` — observability counters (edge expansions,

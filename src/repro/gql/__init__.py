@@ -3,10 +3,15 @@
 GQL consumes GPML bindings directly: results can carry graph elements and
 whole paths as first-class values (unlike SQL/PGQ, which projects to
 scalar columns).  This package provides the read-query surface of GQL
-that the paper's examples exercise:
+that the paper's examples exercise — a *linear composition* of
+statements over a working table of binding rows, ending in RETURN:
 
-``[USE <graph>] MATCH ... [WHERE ...] RETURN [DISTINCT] items
-[ORDER BY ...] [LIMIT n] [OFFSET n]``
+``[USE <graph>] { MATCH ... | OPTIONAL MATCH ... | LET x = expr |
+FILTER cond }+ RETURN [DISTINCT] items [ORDER BY ...] [LIMIT n]
+[OFFSET n]``
+
+See :mod:`repro.gql.pipeline` for the statement transformers and the
+seeded / hash-join execution of chained MATCH.
 """
 
 from repro.gql.graph_output import (
@@ -14,23 +19,35 @@ from repro.gql.graph_output import (
     execute_match_as_graph,
     result_graph,
 )
+from repro.gql.pipeline import (
+    FilterStatement,
+    LetStatement,
+    MatchStatement,
+    compile_pipeline,
+)
 from repro.gql.query import (
     GqlQuery,
     GqlResult,
     execute_gql,
     execute_gql_iter,
+    explain_gql,
     parse_gql_query,
 )
 from repro.gql.session import GqlSession
 
 __all__ = [
+    "FilterStatement",
     "GqlQuery",
     "GqlResult",
     "GqlSession",
+    "LetStatement",
+    "MatchStatement",
     "binding_subgraph",
+    "compile_pipeline",
     "execute_gql",
     "execute_gql_iter",
     "execute_match_as_graph",
+    "explain_gql",
     "parse_gql_query",
     "result_graph",
 ]

@@ -1,17 +1,30 @@
-"""GQL read queries: MATCH ... RETURN with ordering, limits, aggregation.
+"""GQL read queries: linear statement composition ending in RETURN.
+
+A query is a *linear composition* of statements — ``MATCH``, ``OPTIONAL
+MATCH``, ``LET`` and ``FILTER``, in any order and number — followed by a
+final ``RETURN ... [ORDER BY] [LIMIT/OFFSET]`` (PAPER.md §2, §6).  Each
+statement is a streaming transformer over the working table of binding
+rows (see :mod:`repro.gql.pipeline`); RETURN projects the final table.
 
 Execution is streaming end to end when the query allows it:
 :func:`execute_gql_iter` yields projected records as the underlying
-pattern search discovers matches, and — when no ORDER BY and no vertical
+pattern searches discover matches, and — when no ORDER BY and no vertical
 aggregate intervenes — pushes a :class:`~repro.gpml.streaming.RowBudget`
-of ``OFFSET + LIMIT`` rows down into the NFA search, so ``LIMIT 1`` on a
-large graph stops after the first match instead of enumerating them all.
-DISTINCT streams too (the budget counts *distinct* delivered records, so
-the search keeps running exactly until enough survive).  ORDER BY and
-vertical aggregation are pipeline breakers: the full result is
-materialized first, then sliced.  :func:`execute_gql` is a thin
-materializing wrapper — ``list()`` of the iterator, same rows, same
-order.
+of ``OFFSET + LIMIT`` rows down *through the whole chain*, so ``LIMIT 1``
+on a multi-statement pipeline stops the first statement's NFA search
+after one delivered record.  DISTINCT streams too (the budget counts
+*distinct* delivered records).  ORDER BY and vertical aggregation are
+pipeline breakers: the full result is materialized first, then sliced.
+:func:`execute_gql` is a thin materializing wrapper — ``list()`` of the
+iterator, same rows, same order.
+
+A chained ``MATCH`` joins on the variables already bound upstream.  When
+the pattern pins an end element to such a variable, the matcher is
+*seeded* with the bound node per incoming row (reusing the planner's
+anchor machinery); otherwise it falls back to hash-join semantics.
+``OPTIONAL MATCH`` NULL-pads rows without join partners.  ``EXPLAIN``
+(:func:`explain_gql`) renders the statement pipeline with a
+[streaming]/[blocking] classification per stage.
 
 Aggregation semantics (documented refinement, matching Cypher/PGQL
 practice and the paper's Section 3 discussion):
@@ -19,9 +32,9 @@ practice and the paper's Section 3 discussion):
 * an aggregate over a **group variable** (one declared under a
   quantifier) is *horizontal*: it folds over the iterations within one
   binding row, like PGQL's group variables — ``SUM(e.amount)`` per path;
-* an aggregate over a **singleton** (or path) variable is *vertical*: it
-  folds over binding rows, with implicit grouping by the non-aggregate
-  RETURN items, like Cypher's ``count(x)``.
+* an aggregate over a **singleton** (or path, or LET-defined) variable
+  is *vertical*: it folds over binding rows, with implicit grouping by
+  the non-aggregate RETURN items, like Cypher's ``count(x)``.
 
 Paths are first-class: ``RETURN p`` yields :class:`~repro.graph.path.Path`
 values, and ``length(p)`` / ``nodes(p)`` / ``edges(p)`` work on them.
@@ -33,11 +46,18 @@ from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 from repro.errors import GqlError
-from repro.gpml.engine import BindingRow, MatchResult, match_iter, prepare
 from repro.gpml.expr import EvalContext, Expr
+from repro.gpml.lexer import IDENT
 from repro.gpml.matcher import MatcherConfig
-from repro.gpml.streaming import PipelineStats, RowBudget
 from repro.gpml.parser import GpmlParser
+from repro.gpml.streaming import BLOCKING, STREAMING, PipelineStats, RowBudget
+from repro.gql.pipeline import (
+    CompiledPipeline,
+    FilterStatement,
+    LetStatement,
+    MatchStatement,
+    compile_pipeline,
+)
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.path import Path
 from repro.values import NULL, is_null
@@ -58,15 +78,23 @@ class OrderItem:
 
 @dataclass
 class GqlQuery:
-    """A parsed GQL read query."""
+    """A parsed GQL read query: a statement list plus the RETURN clause."""
 
     graph_name: Optional[str]
-    pattern_text: str
+    statements: list
     items: list[ReturnItem]
     distinct: bool
     order_by: list[OrderItem]
     limit: Optional[int]
     offset: Optional[int]
+
+    @property
+    def pattern_text(self) -> str:
+        """The first MATCH statement's pattern text (convenience/compat)."""
+        for statement in self.statements:
+            if isinstance(statement, MatchStatement):
+                return statement.pattern_text
+        raise GqlError("query has no MATCH statement")
 
 
 class GqlResult:
@@ -114,19 +142,43 @@ class GqlResult:
 # ----------------------------------------------------------------------
 # Parsing
 # ----------------------------------------------------------------------
+def _at_word(parser: GpmlParser, word: str) -> bool:
+    """Statement words (OPTIONAL/LET/FILTER/USE) are identifiers to the
+    shared lexer — matched textually, like the SQL host's keywords."""
+    token = parser.peek()
+    return token.type == IDENT and str(token.value).upper() == word
+
+
 def parse_gql_query(text: str) -> GqlQuery:
     parser = GpmlParser(text)
     graph_name = None
-    token = parser.peek()
-    if token.type == "IDENT" and str(token.value).upper() == "USE":
+    if _at_word(parser, "USE"):
         parser.advance()
         graph_name = parser.expect_ident()
-    pattern_start = parser.peek().position
-    parser.expect_keyword("MATCH")
-    parser.parse_graph_pattern_body()
+    statements: list = []
+    while True:
+        if parser.at_keyword("MATCH"):
+            statements.append(_parse_match_statement(parser, text, optional=False))
+        elif _at_word(parser, "OPTIONAL"):
+            start = parser.peek().position
+            parser.advance()
+            if not parser.at_keyword("MATCH"):
+                parser.error("expected MATCH after OPTIONAL")
+            statements.append(
+                _parse_match_statement(parser, text, optional=True, start=start)
+            )
+        elif _at_word(parser, "LET"):
+            statements.append(_parse_let_statement(parser, text))
+        elif _at_word(parser, "FILTER"):
+            statements.append(_parse_filter_statement(parser, text))
+        else:
+            break
+    if not statements:
+        parser.error(
+            "GQL query must start with MATCH, OPTIONAL MATCH, LET or FILTER"
+        )
     if not parser.at_keyword("RETURN"):
         parser.error("GQL query requires a RETURN clause")
-    pattern_text = text[pattern_start : parser.peek().position]
     parser.advance()  # RETURN
     distinct = bool(parser.accept_keyword("DISTINCT"))
     items: list[ReturnItem] = []
@@ -162,12 +214,56 @@ def parse_gql_query(text: str) -> GqlQuery:
     parser.expect_eof()
     return GqlQuery(
         graph_name=graph_name,
-        pattern_text=pattern_text,
+        statements=statements,
         items=items,
         distinct=distinct,
         order_by=order_by,
         limit=limit,
         offset=offset,
+    )
+
+
+def _parse_match_statement(
+    parser: GpmlParser, text: str, optional: bool, start: Optional[int] = None
+) -> MatchStatement:
+    if start is None:
+        start = parser.peek().position
+    parser.expect_keyword("MATCH")
+    body_start = parser.peek().position
+    pattern = parser.parse_graph_pattern_body()
+    end = parser.peek().position
+    return MatchStatement(
+        pattern=pattern,
+        text=" ".join(text[start:end].split()),
+        pattern_text=text[body_start:end],
+        optional=optional,
+    )
+
+
+def _parse_let_statement(parser: GpmlParser, text: str) -> LetStatement:
+    start = parser.peek().position
+    parser.advance()  # LET
+    assignments: list[tuple[str, Expr]] = []
+    while True:
+        name = parser.expect_ident()
+        parser.expect_punct("=")
+        assignments.append((name, parser.parse_expression()))
+        if not parser.accept_punct(","):
+            break
+    end = parser.peek().position
+    return LetStatement(
+        assignments=assignments, text=" ".join(text[start:end].split())
+    )
+
+
+def _parse_filter_statement(parser: GpmlParser, text: str) -> FilterStatement:
+    start = parser.peek().position
+    parser.advance()  # FILTER
+    parser.accept_keyword("WHERE")  # GQL allows FILTER [WHERE] <cond>
+    condition = parser.parse_expression()
+    end = parser.peek().position
+    return FilterStatement(
+        condition=condition, text=" ".join(text[start:end].split())
     )
 
 
@@ -203,25 +299,23 @@ def execute_gql_iter(
 
     Streams whenever the query has no ORDER BY and no vertical aggregate
     (the two record-level pipeline breakers), pushing an ``OFFSET+LIMIT``
-    row budget down into the pattern search; otherwise materializes the
-    breaker's input and yields the sliced records.  Either way the
-    records equal :func:`execute_gql`'s, in the same order.
+    row budget down through every statement's pattern search; otherwise
+    materializes the breaker's input and yields the sliced records.
+    Either way the records equal :func:`execute_gql`'s, in the same
+    order.
     """
     parsed = parse_gql_query(query) if isinstance(query, str) else query
-    prepared = prepare(parsed.pattern_text)
-    has_vertical = _mark_vertical_aggregates(parsed, prepared)
+    compiled = compile_pipeline(parsed.statements, config)
+    has_vertical = _mark_vertical_aggregates(parsed, compiled.group_vars)
 
     if has_vertical or parsed.order_by:
-        # Pipeline breakers: the full match result is needed before the
+        # Pipeline breakers: the full binding table is needed before the
         # first record can be emitted; LIMIT/OFFSET slice afterwards.
-        result = MatchResult(
-            rows=list(match_iter(graph, prepared, config, stats=stats)),
-            variables=prepared.visible_variables(),
-        )
+        rows = list(compiled.run(graph, config, stats=stats))
         if has_vertical:
-            records = _grouped_records(graph, parsed, result)
+            records = _grouped_records(graph, parsed, rows)
         else:
-            records = _plain_records(graph, parsed, result)
+            records = _plain_records(graph, parsed, rows)
         if parsed.distinct:
             records = _distinct_records(records, parsed)
         if parsed.order_by:
@@ -234,15 +328,16 @@ def execute_gql_iter(
         return
 
     # Streaming path: project row by row, count delivered (post-DISTINCT)
-    # records against an OFFSET+LIMIT budget that stops the search itself.
+    # records against an OFFSET+LIMIT budget that stops the searches
+    # themselves — including the first statement's, through the chain.
     offset = parsed.offset or 0
     limit = parsed.limit
     if limit == 0:
         return
     budget = RowBudget(None if limit is None else offset + limit)
     seen: Optional[set] = set() if parsed.distinct else None
-    for row in match_iter(graph, prepared, config, budget=budget, stats=stats):
-        ctx = EvalContext(bindings=row.values, graph=graph)
+    for row in compiled.run(graph, config, budget=budget, stats=stats):
+        ctx = EvalContext(bindings=row, graph=graph)
         record = {item.alias: item.expr.evaluate(ctx) for item in parsed.items}
         if seen is not None:
             key = tuple(_group_key(record[item.alias]) for item in parsed.items)
@@ -257,11 +352,56 @@ def execute_gql_iter(
             return
 
 
-def _mark_vertical_aggregates(parsed: GqlQuery, prepared) -> bool:
-    """Tag RETURN items that fold over rows; True when any item does."""
-    group_vars: set[str] = set()
-    for path_analysis in prepared.analysis.paths:
-        group_vars |= set(path_analysis.group_vars)
+def explain_gql(
+    query: "str | GqlQuery", config: MatcherConfig | None = None
+) -> str:
+    """Render the statement pipeline of a GQL query as text.
+
+    One block per statement with its execution mode (seeded / direct /
+    hash join, LET/FILTER row transforms) classified [streaming] or
+    [blocking], the internal GPML pipeline of each MATCH, and the RETURN
+    stage's classification (whether LIMIT/OFFSET push a row budget down
+    the chain).  Pass the same ``config`` execution will use so the
+    rendered modes match (``seed_chained_match=False`` shows the
+    hash-join fallback, not the seeded search).
+    """
+    parsed = parse_gql_query(query) if isinstance(query, str) else query
+    compiled = compile_pipeline(parsed.statements, config)
+    has_vertical = _mark_vertical_aggregates(parsed, compiled.group_vars)
+    lines = [f"GQL pipeline: {len(parsed.statements)} statement(s) + RETURN"]
+    lines.extend(compiled.describe())
+    items = ", ".join(item.alias for item in parsed.items)
+    lines.append(f"RETURN: {items}")
+    if has_vertical or parsed.order_by:
+        breakers = []
+        if has_vertical:
+            breakers.append("vertical aggregation")
+        if parsed.order_by:
+            breakers.append("ORDER BY")
+        lines.append(
+            f"  [{BLOCKING}] {' + '.join(breakers)} materializes all records; "
+            f"LIMIT/OFFSET slice afterwards"
+        )
+    else:
+        # An OFFSET without LIMIT gives an unlimited budget — the chain
+        # still runs to exhaustion, so only a LIMIT earns the budget line.
+        budget = (
+            "row budget = OFFSET+LIMIT stops the chain's searches"
+            if parsed.limit is not None
+            else "no LIMIT: runs to exhaustion"
+        )
+        distinct = "DISTINCT streams (counts distinct records); " if parsed.distinct else ""
+        lines.append(f"  [{STREAMING}] projection — {distinct}{budget}")
+    return "\n".join(lines)
+
+
+def _mark_vertical_aggregates(parsed: GqlQuery, group_vars: frozenset[str]) -> bool:
+    """Tag RETURN items that fold over rows; True when any item does.
+
+    ``group_vars`` is the union of the group variables of every MATCH
+    statement (quantified declarations); aggregates over anything else —
+    singletons, paths, LET values — are vertical.
+    """
     has_vertical = False
     for item in parsed.items:
         item.vertical_aggregate = any(
@@ -272,11 +412,11 @@ def _mark_vertical_aggregates(parsed: GqlQuery, prepared) -> bool:
 
 
 def _plain_records(
-    graph: PropertyGraph, parsed: GqlQuery, result: MatchResult
+    graph: PropertyGraph, parsed: GqlQuery, rows: list[dict[str, Any]]
 ) -> list[dict[str, Any]]:
     records = []
-    for row in result.rows:
-        ctx = EvalContext(bindings=row.values, graph=graph)
+    for row in rows:
+        ctx = EvalContext(bindings=row, graph=graph)
         records.append({item.alias: item.expr.evaluate(ctx) for item in parsed.items})
     return records
 
@@ -285,14 +425,14 @@ class _GroupContext(EvalContext):
     """Aggregation context: singleton lookups see the representative row,
     group_items folds over all rows of the group."""
 
-    def __init__(self, rows: list[BindingRow], graph: PropertyGraph):
-        super().__init__(bindings=rows[0].values if rows else {}, graph=graph)
+    def __init__(self, rows: list[dict[str, Any]], graph: PropertyGraph):
+        super().__init__(bindings=rows[0] if rows else {}, graph=graph)
         self._rows = rows
 
     def group_items(self, name: str) -> list[Any]:
         items = []
         for row in self._rows:
-            value = row.values.get(name, NULL)
+            value = row.get(name, NULL)
             if isinstance(value, (list, tuple)):
                 items.extend(value)
             elif not is_null(value):
@@ -301,14 +441,14 @@ class _GroupContext(EvalContext):
 
 
 def _grouped_records(
-    graph: PropertyGraph, parsed: GqlQuery, result: MatchResult
+    graph: PropertyGraph, parsed: GqlQuery, rows: list[dict[str, Any]]
 ) -> list[dict[str, Any]]:
     key_items = [item for item in parsed.items if not item.vertical_aggregate]
-    groups: dict[tuple, list[BindingRow]] = {}
+    groups: dict[tuple, list[dict[str, Any]]] = {}
     order: list[tuple] = []
     key_values: dict[tuple, dict[str, Any]] = {}
-    for row in result.rows:
-        ctx = EvalContext(bindings=row.values, graph=graph)
+    for row in rows:
+        ctx = EvalContext(bindings=row, graph=graph)
         values = {item.alias: item.expr.evaluate(ctx) for item in key_items}
         key = tuple(_group_key(values[item.alias]) for item in key_items)
         if key not in groups:
@@ -317,9 +457,9 @@ def _grouped_records(
         groups.setdefault(key, []).append(row)
     records = []
     for key in order:
-        rows = groups[key]
+        group_rows = groups[key]
         record = dict(key_values[key])
-        group_ctx = _GroupContext(rows, graph)
+        group_ctx = _GroupContext(group_rows, graph)
         for item in parsed.items:
             if item.vertical_aggregate:
                 record[item.alias] = item.expr.evaluate(group_ctx)

@@ -19,7 +19,13 @@ from typing import Any, Iterator, Optional
 from repro.errors import GqlError
 from repro.gpml.matcher import MatcherConfig
 from repro.gpml.streaming import PipelineStats
-from repro.gql.query import GqlResult, execute_gql, execute_gql_iter, parse_gql_query
+from repro.gql.query import (
+    GqlResult,
+    execute_gql,
+    execute_gql_iter,
+    explain_gql,
+    parse_gql_query,
+)
 from repro.graph.model import PropertyGraph
 
 
@@ -101,3 +107,13 @@ class GqlSession:
     ) -> bool:
         """Whether the query yields at least one record (early-terminating)."""
         return self.first(query, graph, config) is not None
+
+    def explain(self, query: str, config: MatcherConfig | None = None) -> str:
+        """Render the query's statement pipeline (see :func:`explain_gql`).
+
+        Graph-independent: shows per-statement execution modes (seeded /
+        direct / hash-join chained MATCH, LET/FILTER row transforms) and
+        the [streaming]/[blocking] classification of every stage.  Pass
+        the ``config`` you execute with so the modes match.
+        """
+        return explain_gql(query, config)

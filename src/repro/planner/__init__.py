@@ -16,6 +16,12 @@ Planning is purely an exploration-order decision: the bag of results is
 identical to the naive left-to-right engine (differentially tested
 against it and against the Section 6 reference engine).
 
+The anchor machinery has a second consumer besides :func:`plan_query`:
+GQL's chained-MATCH seeding (:mod:`repro.gql.pipeline`) anchors a later
+statement's pattern search at a variable bound upstream, reusing
+:mod:`~repro.planner.anchor`'s pinned-end analysis and pattern/binding
+reversal per incoming row.
+
 Modules: :mod:`~repro.planner.stats` (cardinality catalog + caching),
 :mod:`~repro.planner.indexes` (sargable predicates, candidate sources),
 :mod:`~repro.planner.anchor` (pattern/binding reversal, anchor scoring),

@@ -19,6 +19,13 @@ One reversal hazard is order-sensitive aggregation: LISTAGG inside a
 visits backwards.  Patterns whose element/paren WHEREs use LISTAGG are
 therefore marked non-reversible.  (The final WHERE is unaffected: it sees
 reduced bindings, which are already mapped back to forward order.)
+
+The planner is not the only consumer: GQL's chained-MATCH seeding
+(:mod:`repro.gql.pipeline`) uses :func:`pinned_end_nodes`,
+:func:`is_reversible` and :func:`compile_reversed` to anchor a later
+statement's search at a variable bound upstream — a right-end seed runs
+the reversed pattern from the bound node and maps bindings back exactly
+as a right-anchored plan does.
 """
 
 from __future__ import annotations

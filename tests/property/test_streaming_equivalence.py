@@ -7,7 +7,16 @@ For random graphs and a pool of random patterns,
   discovery order per pattern, textual nested-loop order across
   patterns), and
 * ``islice(match_iter(g, q), k)`` equals the first k rows of the
-  materialized result, for every prefix length k.
+  materialized result, for every prefix length k,
+
+and for GQL statement pipelines (chained MATCH / OPTIONAL MATCH / LET /
+FILTER),
+
+* a ``LIMIT k`` query (budget-cancelled through the whole chain) and an
+  ``islice`` of the streaming iterator both equal the first k records of
+  the full run, and
+* seeded chained-MATCH execution produces the same bag of records as the
+  hash-join fallback.
 """
 
 from itertools import islice
@@ -19,6 +28,7 @@ from repro.errors import BudgetExceededError
 from repro.graph import GraphBuilder
 from repro.gpml import match, match_iter
 from repro.gpml.matcher import MatcherConfig
+from repro.gql.query import execute_gql_iter, parse_gql_query
 
 
 @st.composite
@@ -97,3 +107,64 @@ def test_prefix_equals_materialized_prefix(graph, query, k):
         assume(False)
     assert sliced == full[:k]
     assert limited == full[:k]
+
+
+# ----------------------------------------------------------------------
+# GQL statement pipelines (chained MATCH / OPTIONAL MATCH / LET / FILTER)
+# ----------------------------------------------------------------------
+GQL_PIPELINES = [
+    "MATCH (x)-[e]->(y) MATCH (y)-[f]->(z) RETURN x, e, z",
+    "MATCH (x)-[e]->(y) MATCH (z:B)-[f]->(y) RETURN x, y, z",
+    "MATCH (x:A)-[e]->(y) OPTIONAL MATCH (y)-[f:F]->(z) RETURN x, y, z",
+    "MATCH (x)-[e]->(y) LET s = x.v + y.v FILTER s > 1 "
+    "MATCH (y)-[f]-(z WHERE z.v < 3) RETURN x, z, s",
+    "MATCH (x)-[e]->(y) MATCH (y)-[f]->(z) WHERE z.v >= x.v RETURN x, z",
+    "MATCH (x)-[e]->(y) "
+    "MATCH ANY SHORTEST p = (y)-[f]->*(w:B) RETURN x, w, length(p) AS len",
+    "MATCH (x)-[e]->(y) MATCH TRAIL (y)-[f]->*(z) KEEP SHORTEST 2 RETURN x, z",
+    "MATCH (x:A) MATCH (y:B) RETURN x, y",
+    "MATCH (x)-[e]->(y) MATCH (y)-[f]->(z) RETURN DISTINCT x, z",
+]
+
+SEEDED = MatcherConfig(max_steps=40_000, max_results=10_000)
+HASH_ONLY = MatcherConfig(
+    max_steps=40_000, max_results=10_000, seed_chained_match=False
+)
+
+
+def record_key(record):
+    return tuple(sorted((name, repr(value)) for name, value in record.items()))
+
+
+@given(
+    small_graphs(),
+    st.sampled_from(GQL_PIPELINES),
+    st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_gql_pipeline_stream_equals_materialized(graph, query, k):
+    try:
+        full = [record_key(r) for r in execute_gql_iter(graph, query, SEEDED)]
+        limited = [
+            record_key(r)
+            for r in execute_gql_iter(graph, query + f" LIMIT {k}", SEEDED)
+        ]
+        sliced = [
+            record_key(r) for r in islice(execute_gql_iter(graph, query, SEEDED), k)
+        ]
+    except BudgetExceededError:
+        assume(False)
+    assert limited == full[:k]
+    assert sliced == full[:k]
+
+
+@given(small_graphs(), st.sampled_from(GQL_PIPELINES))
+@settings(max_examples=60, deadline=None)
+def test_gql_pipeline_seeded_equals_hash_join(graph, query):
+    parsed = parse_gql_query(query)
+    try:
+        seeded = [record_key(r) for r in execute_gql_iter(graph, parsed, SEEDED)]
+        hashed = [record_key(r) for r in execute_gql_iter(graph, parsed, HASH_ONLY)]
+    except BudgetExceededError:
+        assume(False)
+    assert sorted(seeded) == sorted(hashed)
