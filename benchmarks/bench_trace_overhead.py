@@ -1,0 +1,145 @@
+"""Guard: tracing must be near-zero overhead when it is off.
+
+Runs the same query suite twice — plain :class:`PipelineStats` (no
+trace) and a traced one — interleaved, best-of-5 each, and asserts the
+traced wall time stays within 10% (+ a small absolute epsilon for timer
+noise on sub-millisecond runs) of the untraced time, and that both
+deliver identical results.  The CI ``bench-report`` job runs this as a
+script; under pytest each query is a test case.
+
+The 10% bound is the PR's contract: span bookkeeping lives behind
+``span is None`` checks per *stage*, never per row, so turning tracing
+off must cost nothing measurable.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from time import perf_counter
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest  # noqa: E402
+
+from repro.datasets import random_transfer_network  # noqa: E402
+from repro.gpml.engine import match_iter, prepare  # noqa: E402
+from repro.gpml.streaming import PipelineStats  # noqa: E402
+from repro.gql.query import execute_gql_iter, parse_gql_query  # noqa: E402
+from repro.pgq.tabular import tabular_representation  # noqa: E402
+from repro.sql.database import Database  # noqa: E402
+
+#: traced_best <= ALLOWED_RATIO * untraced_best + EPSILON_S
+ALLOWED_RATIO = 1.10
+EPSILON_S = 0.05
+ROUNDS = 5
+
+_GRAPH = None
+
+
+def overhead_graph():
+    global _GRAPH
+    if _GRAPH is None:
+        _GRAPH = random_transfer_network(4000, 8000, seed=3)
+    return _GRAPH
+
+
+def _gpml_case(graph):
+    prepared = prepare(
+        "MATCH (a:Account WHERE a.isBlocked='yes')-[t:Transfer]->"
+        "(b:Account WHERE b.isBlocked='no')"
+    )
+
+    def run(stats):
+        return [row.values["b"].id for row in match_iter(graph, prepared, stats=stats)]
+
+    return run
+
+
+def _gql_case(graph):
+    parsed = parse_gql_query(
+        "MATCH (a:Account WHERE a.isBlocked='yes')-[:Transfer]->(b:Account) "
+        "MATCH (b)-[:Transfer]->(c:Account) "
+        "RETURN a.owner AS src, c.owner AS dst LIMIT 200"
+    )
+
+    def run(stats):
+        return [tuple(r.values()) for r in execute_gql_iter(graph, parsed, stats=stats)]
+
+    return run
+
+
+def _sql_case(graph):
+    database = Database()
+    database.register_graph("bank", graph)
+    for name, table in tabular_representation(graph).items():
+        database.register_table(name, table)
+    sql = (
+        "SELECT src, amount FROM GRAPH_TABLE(bank "
+        "MATCH (a:Account)-[t:Transfer]->(b:Account WHERE b.isBlocked='yes') "
+        "COLUMNS (a.owner AS src, t.amount AS amount)"
+        ") WHERE amount > 5000000 ORDER BY amount DESC FETCH FIRST 100 ROWS ONLY"
+    )
+
+    def run(stats):
+        return [tuple(r.values()) for r in database.execute_iter(sql, stats=stats)]
+
+    return run
+
+
+CASES = [("gpml", _gpml_case), ("gql", _gql_case), ("sql", _sql_case)]
+
+
+def compare(run):
+    """(untraced_best_s, traced_best_s) over interleaved best-of-ROUNDS.
+
+    Also asserts traced and untraced runs deliver identical results.
+    """
+    untraced_best = traced_best = float("inf")
+    baseline = run(PipelineStats())
+    for _ in range(ROUNDS):
+        start = perf_counter()
+        plain = run(PipelineStats())
+        untraced_best = min(untraced_best, perf_counter() - start)
+        stats = PipelineStats.traced()
+        start = perf_counter()
+        traced = run(stats)
+        traced_best = min(traced_best, perf_counter() - start)
+        assert plain == baseline
+        assert traced == baseline, "tracing changed the query's results"
+        assert stats.trace.root.children, "traced run recorded no spans"
+    return untraced_best, traced_best
+
+
+@pytest.mark.parametrize("name,make_case", CASES, ids=[c[0] for c in CASES])
+def test_tracing_off_overhead(name, make_case):
+    run = make_case(overhead_graph())
+    untraced, traced = compare(run)
+    limit = ALLOWED_RATIO * untraced + EPSILON_S
+    assert traced <= limit, (
+        f"{name}: traced best {traced * 1000:.1f}ms exceeds "
+        f"{ALLOWED_RATIO:.0%} of untraced best {untraced * 1000:.1f}ms "
+        f"(+{EPSILON_S * 1000:.0f}ms epsilon)"
+    )
+
+
+def main() -> int:
+    graph = overhead_graph()
+    failed = False
+    for name, make_case in CASES:
+        untraced, traced = compare(make_case(graph))
+        limit = ALLOWED_RATIO * untraced + EPSILON_S
+        verdict = "ok" if traced <= limit else "REGRESSION"
+        if traced > limit:
+            failed = True
+        print(
+            f"{name}: untraced {untraced * 1000:.2f}ms, traced "
+            f"{traced * 1000:.2f}ms (limit {limit * 1000:.2f}ms) — {verdict}"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,193 @@
+"""Machine-readable perf reporting: the ``repro.bench/v1`` trajectory.
+
+Runs a fixed suite of representative queries — GPML core, GQL pipeline,
+SQL/PGQ host — against a scaled banking graph with tracing-free
+:class:`~repro.gpml.streaming.PipelineStats`, and writes one trajectory
+entry (per-query delivered rows, matcher steps, raw matches, wall time)
+to ``BENCH_observability.json``.  Later perf PRs append entries with
+``--append --label <change>`` so the file accumulates the repo's perf
+history in one schema-validated document.
+
+Usage::
+
+    python benchmarks/reporting.py                      # full scale, 60k edges
+    python benchmarks/reporting.py --accounts 2000 --transfers 4000 \
+        --label ci --out BENCH_observability.ci.json    # CI-sized run
+
+The suite asserts nothing about timings — it records them.  Each query
+does assert a sanity condition on its result (non-crash + shape), so a
+reporting run doubles as a smoke pass on the big graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+_SRC = str(Path(__file__).parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.datasets import random_transfer_network  # noqa: E402
+from repro.gpml.engine import match_iter, prepare  # noqa: E402
+from repro.gpml.streaming import PipelineStats  # noqa: E402
+from repro.gql.query import execute_gql_iter, parse_gql_query  # noqa: E402
+from repro.obs.schema import BENCH_SCHEMA, validate_bench_document  # noqa: E402
+from repro.pgq.tabular import tabular_representation  # noqa: E402
+from repro.sql.database import Database  # noqa: E402
+
+SUITE = "observability"
+
+
+def _run_gpml(graph, query, limit=None):
+    def run(stats):
+        return sum(1 for _ in match_iter(graph, prepare(query), limit=limit, stats=stats))
+
+    return run
+
+
+def _run_gql(graph, query):
+    parsed = parse_gql_query(query)
+
+    def run(stats):
+        return sum(1 for _ in execute_gql_iter(graph, parsed, stats=stats))
+
+    return run
+
+
+def _run_sql(database, query):
+    def run(stats):
+        return sum(1 for _ in database.execute_iter(query, stats=stats))
+
+    return run
+
+
+def build_suite(graph):
+    """(name, engine, query, runner) for every tracked benchmark query."""
+    database = Database()
+    database.register_graph("bank", graph)
+    for name, table in tabular_representation(graph).items():
+        database.register_table(name, table)
+
+    gpml_hop = (
+        "MATCH (a:Account WHERE a.isBlocked='yes')"
+        "-[t:Transfer]->(b:Account WHERE b.isBlocked='yes')"
+    )
+    gpml_probe = "MATCH (a:Account)-[t:Transfer]->(a)"
+    gql_chain = (
+        "MATCH (a:Account WHERE a.isBlocked='yes')-[:Transfer]->(b:Account) "
+        "MATCH (b)-[:Transfer]->(c:Account) "
+        "RETURN a.owner AS src, c.owner AS dst LIMIT 100"
+    )
+    gql_ordered = (
+        "MATCH (a:Account WHERE a.isBlocked='yes')-[:isLocatedIn]->(c:City) "
+        "RETURN DISTINCT c.name AS city ORDER BY city"
+    )
+    sql_pushdown = (
+        "SELECT src, amount FROM GRAPH_TABLE(bank "
+        "MATCH (a:Account)-[t:Transfer]->(b:Account WHERE b.isBlocked='yes') "
+        "COLUMNS (a.owner AS src, t.amount AS amount)"
+        ") WHERE amount > 10000000 FETCH FIRST 50 ROWS ONLY"
+    )
+    sql_aggregate = (
+        "SELECT COUNT(*) AS n FROM GRAPH_TABLE(bank "
+        "MATCH (a:Account WHERE a.isBlocked='yes')-[t:Transfer]->(b:Account) "
+        "COLUMNS (a.owner AS src)"
+        ")"
+    )
+    return [
+        ("gpml_blocked_hop", "gpml", gpml_hop, _run_gpml(graph, gpml_hop)),
+        (
+            "gpml_first_row_probe",
+            "gpml",
+            gpml_probe,
+            _run_gpml(graph, gpml_probe, limit=1),
+        ),
+        ("gql_chained_limit", "gql", gql_chain, _run_gql(graph, gql_chain)),
+        ("gql_distinct_order", "gql", gql_ordered, _run_gql(graph, gql_ordered)),
+        ("sql_pushdown_fetch", "sql", sql_pushdown, _run_sql(database, sql_pushdown)),
+        ("sql_vertical_count", "sql", sql_aggregate, _run_sql(database, sql_aggregate)),
+    ]
+
+
+def measure(graph) -> list[dict]:
+    results = []
+    for name, engine, query, run in build_suite(graph):
+        stats = PipelineStats()
+        start = perf_counter()
+        rows = run(stats)
+        wall_ms = (perf_counter() - start) * 1000.0
+        assert rows == stats.rows, f"{name}: delivered {rows} != stats.rows {stats.rows}"
+        results.append(
+            {
+                "name": name,
+                "engine": engine,
+                "query": " ".join(query.split()),
+                "rows": rows,
+                "steps": stats.steps,
+                "matches": stats.matches,
+                "wall_ms": round(wall_ms, 3),
+            }
+        )
+        print(
+            f"  {name:24s} [{engine}] rows={rows} steps={stats.steps} "
+            f"wall={wall_ms:.1f}ms"
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Record the observability benchmark trajectory entry."
+    )
+    parser.add_argument("--accounts", type=int, default=30_000)
+    parser.add_argument("--transfers", type=int, default=60_000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--label", default="baseline",
+        help="entry label (later perf PRs name the change being measured)",
+    )
+    parser.add_argument(
+        "--out", default=str(Path(__file__).parent.parent / "BENCH_observability.json")
+    )
+    parser.add_argument(
+        "--append", action="store_true",
+        help="append one entry to an existing trajectory file",
+    )
+    args = parser.parse_args(argv)
+
+    print(
+        f"building graph: {args.accounts} accounts, {args.transfers} transfers "
+        f"(seed {args.seed})"
+    )
+    graph = random_transfer_network(args.accounts, args.transfers, seed=args.seed)
+    print(f"graph ready: {graph.num_nodes} nodes, {graph.num_edges} edges")
+
+    entry = {
+        "label": args.label,
+        "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
+        "params": {
+            "accounts": args.accounts,
+            "transfers": args.transfers,
+            "seed": args.seed,
+        },
+        "results": measure(graph),
+    }
+
+    out = Path(args.out)
+    if args.append and out.exists():
+        document = json.loads(out.read_text(encoding="utf-8"))
+        document["entries"].append(entry)
+    else:
+        document = {"schema": BENCH_SCHEMA, "suite": SUITE, "entries": [entry]}
+    validate_bench_document(document)
+    out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out} ({len(document['entries'])} entr{'y' if len(document['entries']) == 1 else 'ies'})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

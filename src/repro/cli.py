@@ -39,6 +39,14 @@ tables out of the box.  ``--explain`` prints the relational operator tree
 with the embedded streaming GPML pipeline; ``--stats`` reports matcher
 step/match/row counters after execution (evidence that LIMIT and WHERE
 pushdown reach the NFA search).
+
+Observability (``gql`` and ``sql`` subcommands): ``--analyze`` executes
+and prints the EXPLAIN ANALYZE rendering — per-stage actual rows /
+matcher steps / wall time plus the planner's estimated-vs-actual
+cardinalities; ``--trace-json FILE`` writes the run's span tree as
+``repro.trace/v1`` JSON; ``--stats`` additionally reports wall time and
+a ``-- plan:`` line with the planner's anchor / join-order choices.
+The flags compose (``--analyze --stats --trace-json t.json``).
 """
 
 from __future__ import annotations
@@ -136,9 +144,20 @@ def build_sql_parser() -> argparse.ArgumentParser:
         "streaming GPML pipeline per GRAPH_TABLE) instead of running",
     )
     parser.add_argument(
+        "--analyze", action="store_true",
+        help="EXPLAIN ANALYZE: execute, then print the operator tree "
+        "annotated with per-stage actual rows/steps/time and "
+        "estimated-vs-actual cardinalities",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
-        help="after execution, print matcher step/match/row counters "
-        "(shows how much of the search LIMIT/WHERE pushdown skipped)",
+        help="after execution, print matcher step/match/row counters and "
+        "wall time (shows how much of the search LIMIT/WHERE pushdown "
+        "skipped), plus the planner's anchor/join-order choices",
+    )
+    parser.add_argument(
+        "--trace-json", metavar="FILE", default=None,
+        help="write the query's span tree as JSON (repro.trace/v1 schema)",
     )
     return parser
 
@@ -169,14 +188,50 @@ def build_gql_parser() -> argparse.ArgumentParser:
         "classification, chained-MATCH execution mode) instead of running",
     )
     parser.add_argument(
+        "--analyze", action="store_true",
+        help="EXPLAIN ANALYZE: execute, then print the statement pipeline "
+        "annotated with per-stage actual rows/steps/time and "
+        "estimated-vs-actual cardinalities",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
-        help="after execution, print matcher step/match/row counters",
+        help="after execution, print matcher step/match/row counters and "
+        "wall time, plus the planner's anchor/join-order choices",
+    )
+    parser.add_argument(
+        "--trace-json", metavar="FILE", default=None,
+        help="write the query's span tree as JSON (repro.trace/v1 schema)",
     )
     return parser
 
 
+def _write_trace_json(path: str, stats) -> None:
+    """Dump a traced run's span tree as repro.trace/v1 JSON."""
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(stats.trace.to_dict(stats=stats), handle, indent=2)
+        handle.write("\n")
+
+
+def _print_stats_lines(stats, elapsed_ms: float) -> None:
+    """The ``--stats`` footer: counters + wall time, then planner info."""
+    from repro.obs.analyze import plan_summary
+
+    print(
+        f"-- stats: {stats.steps} matcher steps, "
+        f"{stats.matches} raw matches, {stats.rows} delivered rows, "
+        f"{elapsed_ms:.2f} ms"
+    )
+    if stats.trace is not None:
+        summary = plan_summary(stats.trace)
+        if summary is not None:
+            print(f"-- plan: {summary}")
+
+
 def gql_main(argv: list[str]) -> int:
     import dataclasses
+    from time import perf_counter
 
     from repro.gpml.streaming import PipelineStats
     from repro.gql.query import execute_gql_iter, explain_gql, parse_gql_query
@@ -198,22 +253,30 @@ def gql_main(argv: list[str]) -> int:
         if limit is not None:
             tightened = limit if parsed.limit is None else min(parsed.limit, limit)
             parsed = dataclasses.replace(parsed, limit=tightened)
-        stats = PipelineStats() if args.stats else None
-        records = execute_gql_iter(graph, parsed, stats=stats)
-        columns = [item.alias for item in parsed.items]
-        header = " | ".join(columns)
-        print(header)
-        print("-" * len(header))
-        count = 0
-        for record in records:
-            count += 1
-            print(" | ".join(str(_to_ids(record[name])) for name in columns))
-        print(f"({count} record(s))")
-        if stats is not None:
-            print(
-                f"-- stats: {stats.steps} matcher steps, "
-                f"{stats.matches} raw matches, {stats.rows} delivered rows"
-            )
+        stats = None
+        if args.stats or args.trace_json or args.analyze:
+            stats = PipelineStats.traced(query=query, engine="gql")
+        start = perf_counter()
+        if args.analyze:
+            from repro.obs.analyze import explain_analyze_gql
+
+            print(explain_analyze_gql(graph, parsed, stats=stats))
+        else:
+            records = execute_gql_iter(graph, parsed, stats=stats)
+            columns = [item.alias for item in parsed.items]
+            header = " | ".join(columns)
+            print(header)
+            print("-" * len(header))
+            count = 0
+            for record in records:
+                count += 1
+                print(" | ".join(str(_to_ids(record[name])) for name in columns))
+            print(f"({count} record(s))")
+        elapsed_ms = (perf_counter() - start) * 1000.0
+        if args.stats:
+            _print_stats_lines(stats, elapsed_ms)
+        if args.trace_json:
+            _write_trace_json(args.trace_json, stats)
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -224,6 +287,8 @@ def gql_main(argv: list[str]) -> int:
 
 
 def sql_main(argv: list[str]) -> int:
+    from time import perf_counter
+
     from repro.gpml.streaming import PipelineStats
     from repro.pgq.tabular import tabular_representation
     from repro.sql import Database
@@ -244,17 +309,23 @@ def sql_main(argv: list[str]) -> int:
         if args.explain:
             print(database.explain(query))
             return 0
-        stats = PipelineStats() if args.stats else None
-        result = database.execute(query, stats=stats)
-        if isinstance(result, Table):
-            print(result.pretty(max_rows=50))
-        else:  # CREATE PROPERTY GRAPH returns the new graph view
-            print(result)
-        if stats is not None:
-            print(
-                f"-- stats: {stats.steps} matcher steps, "
-                f"{stats.matches} raw matches, {stats.rows} delivered rows"
-            )
+        stats = None
+        if args.stats or args.trace_json or args.analyze:
+            stats = PipelineStats.traced(query=query, engine="sql")
+        start = perf_counter()
+        if args.analyze:
+            print(database.explain_analyze(query, stats=stats))
+        else:
+            result = database.execute(query, stats=stats)
+            if isinstance(result, Table):
+                print(result.pretty(max_rows=50))
+            else:  # CREATE PROPERTY GRAPH returns the new graph view
+                print(result)
+        elapsed_ms = (perf_counter() - start) * 1000.0
+        if args.stats:
+            _print_stats_lines(stats, elapsed_ms)
+        if args.trace_json:
+            _write_trace_json(args.trace_json, stats)
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -39,6 +39,7 @@ or reversed), one seeded search per upstream binding row.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Iterator, Optional
 
 from repro.errors import GpmlEvaluationError
@@ -59,7 +60,8 @@ from repro.gpml.matcher import Matcher, MatcherConfig
 from repro.gpml.normalize import normalize_graph_pattern
 from repro.gpml.parser import parse_match
 from repro.gpml.selectors import apply_selector
-from repro.gpml.streaming import PipelineStats, RowBudget
+from repro.gpml.streaming import BLOCKING, STREAMING, PipelineStats, RowBudget
+from repro.obs.trace import Span, timed_rows
 from repro.graph.model import Edge, Node, PropertyGraph
 from repro.graph.path import Path
 from repro.planner.anchor import RIGHT, reverse_binding
@@ -236,6 +238,8 @@ def match_iter(
     limit: Optional[int] = None,
     budget: Optional[RowBudget] = None,
     stats: Optional[PipelineStats] = None,
+    span: Optional[Span] = None,
+    count_rows: bool = True,
 ) -> Iterator[BindingRow]:
     """Evaluate a MATCH statement as a lazy stream of binding rows.
 
@@ -248,6 +252,11 @@ def match_iter(
     and call :meth:`RowBudget.take` per row they actually deliver.
 
     ``stats``, when given, accumulates matcher step/match/row counters.
+    ``count_rows=False`` suppresses the ``stats.rows`` bump — for callers
+    (GQL pipeline, SQL scans) whose rows are intermediate, so the flat
+    counter keeps meaning *delivered to the end consumer*.  ``span``
+    attaches per-stage trace spans under the given parent; when omitted
+    but ``stats.trace`` is set, spans hang off the trace root.
     """
     if limit is not None and budget is not None:
         raise GpmlEvaluationError(
@@ -260,20 +269,29 @@ def match_iter(
     if own_budget:
         budget = RowBudget(limit)
     plan = plan_query(graph, prepared) if config.use_planner else None
+    if span is None and stats is not None and stats.trace is not None:
+        span = stats.trace.root
+    delivery = (
+        span.child("row delivery", mode=STREAMING) if span is not None else None
+    )
 
     def rows() -> Iterator[BindingRow]:
         if budget.satisfied:
             return
-        for row in _match_stream(graph, prepared, config, plan, budget, stats):
+        for row in _match_stream(graph, prepared, config, plan, budget, stats, span):
             if own_budget:
                 budget.take()
-            if stats is not None:
+            if count_rows and stats is not None:
                 stats.rows += 1
             yield row
             if budget.satisfied:
+                if delivery is not None:
+                    delivery.event("budget_satisfied", taken=budget.taken)
                 return
 
-    return rows()
+    if delivery is None:
+        return rows()
+    return timed_rows(delivery, rows())
 
 
 def first(
@@ -402,6 +420,8 @@ def iter_solve_path_pattern(
     plan: Optional[QueryPlan] = None,
     budget: Optional[RowBudget] = None,
     stats: Optional[PipelineStats] = None,
+    span: Optional[Span] = None,
+    label: Optional[str] = None,
 ) -> Iterator[ReducedBinding]:
     """Solutions (reduced, deduplicated, selected) of one path pattern,
     streamed lazily in the engine's deterministic discovery order.
@@ -450,9 +470,18 @@ def iter_solve_path_pattern(
         if pattern_plan is not None:
             pattern_plan.observed_candidates = matcher.initial_candidate_count
 
+    anchor_meta: dict[str, Any] = {}
+    if span is not None and pattern_plan is not None:
+        anchor_meta = {
+            "anchor": f"{pattern_plan.side} via {pattern_plan.source.describe()}",
+            "est_candidates": pattern_plan.source.estimate,
+            "est_rows": pattern_plan.est_result,
+        }
     return _iter_pattern_solutions(
         graph, matcher, path, analysis, config,
         reverse=reversed_run, on_finish=record_candidates,
+        span=span, label=label or f"pattern #{index + 1}",
+        anchor_meta=anchor_meta,
     )
 
 
@@ -482,6 +511,9 @@ def _iter_pattern_solutions(
     *,
     reverse: bool = False,
     on_finish=None,
+    span: Optional[Span] = None,
+    label: str = "pattern #1",
+    anchor_meta: Optional[dict] = None,
 ) -> Iterator[ReducedBinding]:
     """The shared solution stages of one pattern run: strategy search,
     optional binding reversal, streaming reduce + dedup, selector breaker.
@@ -490,13 +522,29 @@ def _iter_pattern_solutions(
     the seeded :func:`iter_seeded_rows`, so dedup keys, reversal and
     selector handling cannot drift between the two paths.  ``on_finish``
     runs when the search generator closes (normally or abandoned).
+
+    With a ``span``, the stages open child spans matching the names
+    ``classify_pipeline`` uses; the search span's step count is the
+    matcher's step delta, read once when the search closes — the matcher
+    hot loop itself is not instrumented per span.
     """
     raw = _run_strategy(matcher, path, analysis)
+    search_span = dedup_span = None
+    if span is not None:
+        search_span = span.child(
+            f"{label} search ({analysis.strategy})",
+            mode=STREAMING,
+            **(anchor_meta or {}),
+        )
+        raw = timed_rows(search_span, raw)
+        dedup_span = span.child(f"{label} reduce + dedup", mode=STREAMING)
 
     def solutions() -> Iterator[ReducedBinding]:
         seen: set[tuple] = set()
         try:
             for binding in raw:
+                if dedup_span is not None:
+                    dedup_span.rows_in += 1
                 if reverse:
                     binding = reverse_binding(binding)
                 reduced = reduce_binding(
@@ -508,21 +556,40 @@ def _iter_pattern_solutions(
                 seen.add(key)
                 yield reduced
         finally:
+            if search_span is not None:
+                search_span.steps = matcher.steps
+                search_span.matches = search_span.rows_out
+                search_span.meta["observed_candidates"] = (
+                    matcher.initial_candidate_count
+                )
             if on_finish is not None:
                 on_finish()
 
+    deduped = solutions()
+    if dedup_span is not None:
+        deduped = timed_rows(dedup_span, deduped)
     if path.selector is None:
-        return solutions()
+        return deduped
+
+    selector_span = None
+    if span is not None:
+        selector_span = span.child(
+            f"{label} selector {path.selector.kind}", mode=BLOCKING
+        )
 
     def selected() -> Iterator[ReducedBinding]:
         # Pipeline breaker: selectors choose per complete endpoint
         # partition, so this pattern's solution set must be materialized.
-        complete = list(solutions())
+        complete = list(deduped)
+        if selector_span is not None:
+            selector_span.rows_in = selector_span.peak_rows = len(complete)
         yield from apply_selector(
             path.selector, complete, graph, config.default_edge_cost
         )
 
-    return selected()
+    if selector_span is None:
+        return selected()
+    return timed_rows(selector_span, selected())
 
 
 def iter_seeded_rows(
@@ -534,6 +601,7 @@ def iter_seeded_rows(
     reversed_run: "Optional[tuple[ast.PathPattern, PatternNFA]]" = None,
     budget: Optional[RowBudget] = None,
     stats: Optional[PipelineStats] = None,
+    span: Optional[Span] = None,
 ) -> Iterator[BindingRow]:
     """Binding rows of a single-pattern query anchored at explicit nodes.
 
@@ -553,6 +621,12 @@ def iter_seeded_rows(
     The final WHERE and KEEP of the prepared pattern are applied here
     (the caller strips them from ``prepared`` when they must instead see
     upstream bindings).
+
+    ``span``, when given, *aggregates* across seeded runs: one chained
+    MATCH statement may run thousands of seeded searches, so instead of
+    one span per seed the caller's statement span accumulates the step
+    total and a ``seeded_runs`` tally.  Each matcher's steps are added
+    exactly once, when its run closes.
     """
     if prepared.num_path_patterns != 1:
         raise GpmlEvaluationError(
@@ -578,14 +652,19 @@ def iter_seeded_rows(
 
     def rows() -> Iterator[BindingRow]:
         condition = prepared.normalized.where
-        for solution in selected:
-            values, path_obj = _materialize(graph, solution, analysis, path.path_var)
-            row = BindingRow(values, [path_obj])
-            if condition is not None and not condition.truth(
-                EvalContext(bindings=row.values, graph=graph)
-            ):
-                continue
-            yield row
+        try:
+            for solution in selected:
+                values, path_obj = _materialize(graph, solution, analysis, path.path_var)
+                row = BindingRow(values, [path_obj])
+                if condition is not None and not condition.truth(
+                    EvalContext(bindings=row.values, graph=graph)
+                ):
+                    continue
+                yield row
+        finally:
+            if span is not None:
+                span.steps += matcher.steps
+                span.bump("seeded_runs")
 
     if prepared.normalized.keep is None:
         return rows()
@@ -728,6 +807,7 @@ def _iter_join_rows(
     plan: Optional[QueryPlan],
     budget: Optional[RowBudget],
     stats: Optional[PipelineStats],
+    span: Optional[Span] = None,
 ) -> Iterator[BindingRow]:
     """Stream joined binding rows in textual nested-loop order.
 
@@ -740,8 +820,10 @@ def _iter_join_rows(
     cuts a suffix.
     """
     num = prepared.num_path_patterns
+    if span is not None and plan is not None and num > 1:
+        span.event("join_order", order=[i + 1 for i in plan.join_order])
     first_solutions = iter_solve_path_pattern(
-        graph, prepared, 0, config, plan, budget, stats
+        graph, prepared, 0, config, plan, budget, stats, span=span
     )
     path0 = prepared.normalized.paths[0]
     analysis0 = prepared.analysis.paths[0]
@@ -759,13 +841,28 @@ def _iter_join_rows(
         shared = sorted(_singleton_vars(prepared, index) & bound_vars)
         path = prepared.normalized.paths[index]
         path_analysis = prepared.analysis.paths[index]
+        build_span = None
+        if span is not None:
+            build_span = span.child(
+                f"pattern #{index + 1} hash-join build",
+                mode=BLOCKING,
+                keys=shared,
+            )
+            build_start = perf_counter()
         buckets: dict[tuple, list[tuple[dict, Path]]] = {}
         for solution in iter_solve_path_pattern(
-            graph, prepared, index, config, plan, None, stats
+            graph, prepared, index, config, plan, None, stats, span=build_span
         ):
+            if build_span is not None:
+                build_span.rows_in += 1
             values, path_obj = _materialize(graph, solution, path_analysis, path.path_var)
             key = tuple(_join_key(values.get(name)) for name in shared)
             buckets.setdefault(key, []).append((values, path_obj))
+        if build_span is not None:
+            build_span.peak_rows = build_span.rows_out = sum(
+                len(entries) for entries in buckets.values()
+            )
+            build_span.elapsed += perf_counter() - build_start
         if not buckets:
             return  # an empty pattern empties the whole join
         builds.append((shared, buckets))
@@ -786,9 +883,17 @@ def _iter_join_rows(
             yield from expand(merged, paths, level + 1)
             paths.pop()
 
+    probe_span = None
+    if span is not None:
+        probe_span = span.child("hash-join probe (pattern #1 outer)", mode=STREAMING)
     for solution in first_solutions:
+        if probe_span is not None:
+            probe_span.rows_in += 1
         values0, path_obj0 = _materialize(graph, solution, analysis0, path0.path_var)
-        yield from expand(values0, [path_obj0], 0)
+        for row in expand(values0, [path_obj0], 0):
+            if probe_span is not None:
+                probe_span.rows_out += 1
+            yield row
 
 
 def _match_stream(
@@ -798,20 +903,54 @@ def _match_stream(
     plan: Optional[QueryPlan],
     budget: Optional[RowBudget],
     stats: Optional[PipelineStats],
+    span: Optional[Span] = None,
 ) -> Iterator[BindingRow]:
-    """Joined rows through the postfilter and KEEP, still lazy."""
+    """Joined rows through the postfilter and KEEP, still lazy.
+
+    When untraced, the WHERE postfilter stays the original generator
+    expression; tracing swaps in counting wrappers per *stage*, never
+    per-row conditionals inside the untraced path.
+    """
     rows: Iterator[BindingRow] = _iter_join_rows(
-        graph, prepared, config, plan, budget, stats
+        graph, prepared, config, plan, budget, stats, span
     )
     condition = prepared.normalized.where
     if condition is not None:
-        rows = (
-            row
-            for row in rows
-            if condition.truth(EvalContext(bindings=row.values, graph=graph))
-        )
+        if span is not None:
+            where_span = span.child("postfilter WHERE", mode=STREAMING)
+            rows = timed_rows(where_span, _filtered_rows(graph, rows, condition, where_span))
+        else:
+            rows = (
+                row
+                for row in rows
+                if condition.truth(EvalContext(bindings=row.values, graph=graph))
+            )
     if prepared.normalized.keep is not None:
         # Pipeline breaker: KEEP selects per endpoint partition among the
         # rows that survived the final WHERE, so it needs all of them.
-        rows = iter(_apply_keep(graph, list(rows), prepared.normalized.keep))
+        keep = prepared.normalized.keep
+        if span is not None:
+            keep_span = span.child(f"KEEP {keep.kind}", mode=BLOCKING)
+            rows = timed_rows(keep_span, _kept_rows(graph, rows, keep, keep_span))
+        else:
+            rows = iter(_apply_keep(graph, list(rows), keep))
     return rows
+
+
+def _filtered_rows(
+    graph: PropertyGraph, rows: Iterator[BindingRow], condition, where_span: Span
+) -> Iterator[BindingRow]:
+    """The traced WHERE postfilter (rows_out counted by the wrapper)."""
+    for row in rows:
+        where_span.rows_in += 1
+        if condition.truth(EvalContext(bindings=row.values, graph=graph)):
+            yield row
+
+
+def _kept_rows(
+    graph: PropertyGraph, rows: Iterator[BindingRow], keep, keep_span: Span
+) -> Iterator[BindingRow]:
+    """The traced KEEP breaker; materialization happens on first pull."""
+    materialized = list(rows)
+    keep_span.rows_in = keep_span.peak_rows = len(materialized)
+    yield from _apply_keep(graph, materialized, keep)

@@ -82,6 +82,20 @@ def explain_plan(graph: PropertyGraph, query: "str | PreparedQuery") -> str:
     )
 
 
+def explain_analyze(graph: PropertyGraph, query: "str | PreparedQuery") -> str:
+    """Execute a MATCH on *graph* and render per-stage actuals.
+
+    The runtime companion to :func:`explain` / :func:`explain_plan`:
+    instead of predicted strategies and estimated cardinalities, every
+    stage shows the rows, matcher steps, and wall time it actually
+    consumed (see :mod:`repro.obs`).
+    """
+    # Imported lazily: repro.obs.analyze depends on higher layers.
+    from repro.obs.analyze import explain_analyze_match
+
+    return explain_analyze_match(graph, query)
+
+
 def explain_automaton(query: "str | PreparedQuery", index: int = 0) -> str:
     """Dump the compiled NFA of one path pattern."""
     prepared = query if isinstance(query, PreparedQuery) else prepare(query)

@@ -29,8 +29,11 @@ Three small primitives make early termination explicit:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.trace import QueryTrace
 
 from repro.gpml.analysis import CHEAPEST, ENUMERATE, K_SEARCH, SHORTEST
 
@@ -86,11 +89,56 @@ class PipelineStats:
     emitted; ``rows`` counts rows the pipeline delivered to the caller.
     Benchmarks assert on ``steps`` — wall-clock-free evidence that
     ``LIMIT 1`` / ``exists()`` explore a fraction of the search space.
+
+    The three flat counters are always maintained.  Attaching a
+    :class:`~repro.obs.trace.QueryTrace` to :attr:`trace` (or using
+    :meth:`traced` / ``repro.obs.tracing_stats``) additionally records a
+    per-stage span tree, from which :meth:`breakdown` derives
+    per-pattern / per-statement views of the same totals.
     """
 
     steps: int = 0
     matches: int = 0
     rows: int = 0
+    trace: Optional["QueryTrace"] = field(default=None, repr=False, compare=False)
+
+    @classmethod
+    def traced(
+        cls, query: Optional[str] = None, engine: Optional[str] = None
+    ) -> "PipelineStats":
+        """Stats with tracing enabled (span tree on :attr:`trace`)."""
+        from repro.obs.trace import QueryTrace
+
+        return cls(trace=QueryTrace(query=query, engine=engine))
+
+    def breakdown(self) -> list[dict[str, Any]]:
+        """Per-stage counters derived from the trace (pre-order).
+
+        Empty when tracing is off.  Each entry carries the span's name,
+        kind, tree depth, and its share of the flat counters — so
+        ``sum(entry["steps"])`` equals :attr:`steps` for a fully drained
+        traced run (each matcher's steps land on exactly one span).
+        """
+        if self.trace is None:
+            return []
+        entries: list[dict[str, Any]] = []
+        for depth, span in self.trace.root.flatten():
+            if span.kind == "root":
+                continue
+            entries.append(
+                {
+                    "name": span.name,
+                    "kind": span.kind,
+                    "depth": depth - 1,
+                    "rows_in": span.rows_in,
+                    "rows_out": span.rows_out,
+                    "steps": span.steps,
+                    "matches": span.matches,
+                    "peak_rows": span.peak_rows,
+                    "elapsed_ms": round(span.elapsed_ms, 3),
+                }
+            )
+        return entries
 
 
 @dataclass(frozen=True)

@@ -78,6 +78,7 @@ from repro.gpml.streaming import (
     render_pipeline,
 )
 from repro.graph.model import PropertyGraph
+from repro.obs.trace import Span, counted_in, timed_rows
 from repro.planner.anchor import (
     LEFT,
     RIGHT,
@@ -204,6 +205,7 @@ class CompiledMatch:
         config: MatcherConfig,
         budget: Optional[RowBudget],
         stats: Optional[PipelineStats],
+        span: Optional[Span] = None,
     ) -> Iterator[dict[str, Any]]:
         build: Optional[dict[tuple, list[tuple[dict, list]]]] = None
         #: per-seed memo: node id -> complete candidate list.  Incoming
@@ -217,8 +219,12 @@ class CompiledMatch:
         def seeded(seed_key: str) -> Iterator[tuple[dict, list]]:
             cached = seed_memo.get(seed_key)
             if cached is not None:
+                if span is not None:
+                    span.bump("seed_memo_hit")
                 yield from cached
                 return
+            if span is not None:
+                span.bump("seed_memo_miss")
             reversed_run = None
             if self.seed.side == RIGHT:
                 reversed_run = (self.seed.reversed_path, self.seed.reversed_nfa)
@@ -226,6 +232,7 @@ class CompiledMatch:
             for m in iter_seeded_rows(
                 graph, self.prepared, config, [seed_key],
                 reversed_run=reversed_run, budget=budget, stats=stats,
+                span=span,
             ):
                 item = (m.values, m.paths)
                 acc.append(item)
@@ -246,7 +253,8 @@ class CompiledMatch:
                 )
             if self.direct:
                 matched = match_iter(
-                    graph, self.prepared, config, budget=budget, stats=stats
+                    graph, self.prepared, config, budget=budget, stats=stats,
+                    span=span, count_rows=False,
                 )
                 return (
                     (m.values, m.paths)
@@ -261,12 +269,26 @@ class CompiledMatch:
                 # enumerated once, without the shared budget (a build
                 # side must be complete).  Only reached once some probe
                 # row actually has joinable keys.
+                build_span = None
+                if span is not None:
+                    keyed = ", ".join(self.shared_vars) or "cross product"
+                    build_span = span.child(
+                        f"hash-join build of the match table ({keyed})",
+                        mode=BLOCKING,
+                    )
                 build = {}
-                for m in match_iter(graph, self.prepared, config, stats=stats):
+                for m in match_iter(
+                    graph, self.prepared, config, stats=stats,
+                    span=build_span, count_rows=False,
+                ):
                     build_key = tuple(
                         _join_key(m.values.get(name)) for name in self.shared_vars
                     )
                     build.setdefault(build_key, []).append((m.values, m.paths))
+                if build_span is not None:
+                    build_span.peak_rows = sum(
+                        len(entries) for entries in build.values()
+                    )
             return iter(build.get(key, ()))
 
         def expansions(row: dict[str, Any]) -> Iterator[dict[str, Any]]:
@@ -349,7 +371,7 @@ class CompiledLet:
         names = ", ".join(name for name, _ in self.statement.assignments)
         return [f"[{STREAMING}] extend each row with {names}"]
 
-    def apply(self, graph, incoming, config, budget, stats):
+    def apply(self, graph, incoming, config, budget, stats, span=None):
         for row in incoming:
             out = dict(row)
             for name, expr in self.statement.assignments:
@@ -364,7 +386,7 @@ class CompiledFilter:
     def mode_lines(self) -> list[str]:
         return [f"[{STREAMING}] per-row predicate"]
 
-    def apply(self, graph, incoming, config, budget, stats):
+    def apply(self, graph, incoming, config, budget, stats, span=None):
         for row in incoming:
             if self.statement.condition.truth(
                 EvalContext(bindings=row, graph=graph)
@@ -396,11 +418,27 @@ class CompiledPipeline:
         the caller, who takes per delivered record — is threaded into
         every seeded/direct pattern search so a satisfied consumer stops
         the earliest statement's NFA search.
+
+        With ``stats.trace`` set, each statement gets one span (rows
+        in/out, inclusive time); pattern-search stage spans nest under
+        their statement's span.  Seeded chained MATCH aggregates its
+        per-seed runs into the statement span rather than exploding into
+        one span per incoming row.
         """
         config = config or MatcherConfig()
+        trace = stats.trace if stats is not None else None
         rows: Iterator[dict[str, Any]] = iter(({},))
-        for statement in self.statements:
-            rows = statement.apply(graph, rows, config, budget, stats)
+        for index, statement in enumerate(self.statements):
+            span = None
+            if trace is not None:
+                span = trace.root.child(
+                    f"statement #{index + 1}: {statement.statement.text}",
+                    kind="statement",
+                )
+                rows = counted_in(span, rows)
+            rows = statement.apply(graph, rows, config, budget, stats, span=span)
+            if span is not None:
+                rows = timed_rows(span, rows)
         return rows
 
     def describe(self) -> list[str]:

@@ -43,6 +43,7 @@ values, and ``length(p)`` / ``nodes(p)`` / ``edges(p)`` work on them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Iterator, Optional
 
 from repro.errors import GqlError
@@ -307,11 +308,23 @@ def execute_gql_iter(
     parsed = parse_gql_query(query) if isinstance(query, str) else query
     compiled = compile_pipeline(parsed.statements, config)
     has_vertical = _mark_vertical_aggregates(parsed, compiled.group_vars)
+    trace = stats.trace if stats is not None else None
 
     if has_vertical or parsed.order_by:
         # Pipeline breakers: the full binding table is needed before the
         # first record can be emitted; LIMIT/OFFSET slice afterwards.
-        rows = list(compiled.run(graph, config, stats=stats))
+        row_stream = compiled.run(graph, config, stats=stats)
+        # Created after compiled.run so the trace lists statements in
+        # pipeline order; the drain below is still on this span's clock.
+        return_span = None
+        if trace is not None:
+            return_span = trace.root.child(
+                "RETURN (vertical aggregation / ORDER BY)",
+                kind="statement",
+                mode="blocking",
+            )
+            start = perf_counter()
+        rows = list(row_stream)
         if has_vertical:
             records = _grouped_records(graph, parsed, rows)
         else:
@@ -324,6 +337,12 @@ def execute_gql_iter(
             records = records[parsed.offset :]
         if parsed.limit is not None:
             records = records[: parsed.limit]
+        if return_span is not None:
+            return_span.rows_in = return_span.peak_rows = len(rows)
+            return_span.rows_out = len(records)
+            return_span.elapsed += perf_counter() - start
+        if stats is not None:
+            stats.rows += len(records)
         yield from records
         return
 
@@ -336,19 +355,37 @@ def execute_gql_iter(
         return
     budget = RowBudget(None if limit is None else offset + limit)
     seen: Optional[set] = set() if parsed.distinct else None
-    for row in compiled.run(graph, config, budget=budget, stats=stats):
+    row_stream = compiled.run(graph, config, budget=budget, stats=stats)
+    return_span = None
+    if trace is not None:
+        return_span = trace.root.child(
+            "RETURN projection", kind="statement", mode="streaming"
+        )
+    for row in row_stream:
+        if return_span is not None:
+            return_span.rows_in += 1
         ctx = EvalContext(bindings=row, graph=graph)
         record = {item.alias: item.expr.evaluate(ctx) for item in parsed.items}
         if seen is not None:
             key = tuple(_group_key(record[item.alias]) for item in parsed.items)
             if key in seen:
+                if return_span is not None:
+                    return_span.bump("distinct_dropped")
                 continue
             seen.add(key)
         budget.take()
         if budget.taken <= offset:
+            if return_span is not None:
+                return_span.bump("offset_skipped")
             continue
+        if stats is not None:
+            stats.rows += 1
+        if return_span is not None:
+            return_span.rows_out += 1
         yield record
         if budget.satisfied:
+            if return_span is not None:
+                return_span.event("budget_satisfied", taken=budget.taken)
             return
 
 

@@ -108,6 +108,29 @@ class GqlSession:
         """Whether the query yields at least one record (early-terminating)."""
         return self.first(query, graph, config) is not None
 
+    def explain_analyze(
+        self,
+        query: str,
+        graph: PropertyGraph | None = None,
+        config: MatcherConfig | None = None,
+        stats: PipelineStats | None = None,
+    ) -> str:
+        """Execute the query and render its pipeline with actuals.
+
+        Each statement (and every engine stage below it) is annotated
+        with observed rows in/out, matcher steps, inclusive wall time,
+        and estimated-vs-actual cardinality for anchored searches.  Pass
+        a traced ``stats`` to keep the underlying span tree for JSON
+        export (see :mod:`repro.obs`).
+        """
+        # Imported lazily: repro.obs.analyze pulls in both hosts.
+        from repro.obs.analyze import explain_analyze_gql
+
+        parsed = parse_gql_query(query)
+        return explain_analyze_gql(
+            self._resolve(parsed, graph), parsed, config, stats
+        )
+
     def explain(self, query: str, config: MatcherConfig | None = None) -> str:
         """Render the query's statement pipeline (see :func:`explain_gql`).
 

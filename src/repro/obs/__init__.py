@@ -1,0 +1,43 @@
+"""Observability: query tracing, EXPLAIN ANALYZE, and metrics export.
+
+Quick start::
+
+    from repro.obs import tracing_stats
+
+    stats = tracing_stats(query_text, engine="gql")
+    records = list(execute_gql_iter(graph, query_text, stats=stats))
+    stats.trace.to_dict(stats)      # repro.trace/v1 JSON document
+
+This package init deliberately imports only the standalone pieces
+(:mod:`repro.obs.trace`, :mod:`repro.obs.schema`) so the engine layers
+can import them without cycles.  The renderers in
+:mod:`repro.obs.analyze` import the GQL/SQL layers and must be imported
+explicitly (``from repro.obs import analyze``) or lazily.
+"""
+
+from repro.obs.schema import BENCH_SCHEMA, SchemaError, validate_bench_document, validate_trace_document
+from repro.obs.trace import TRACE_SCHEMA, QueryTrace, Span, counted_in, timed_rows
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "TRACE_SCHEMA",
+    "QueryTrace",
+    "SchemaError",
+    "Span",
+    "counted_in",
+    "timed_rows",
+    "tracing_stats",
+    "validate_bench_document",
+    "validate_trace_document",
+]
+
+
+def tracing_stats(query=None, engine=None):
+    """A fresh ``PipelineStats`` with tracing enabled.
+
+    Convenience factory: the flat counters work exactly as before, and
+    ``stats.trace`` carries the span tree the execution layers fill in.
+    """
+    from repro.gpml.streaming import PipelineStats
+
+    return PipelineStats(trace=QueryTrace(query=query, engine=engine))

@@ -1,0 +1,16 @@
+"""``python -m repro.obs FILE...`` — validate trace / bench JSON files.
+
+Thin wrapper over :func:`repro.obs.schema.main`; preferred over
+``python -m repro.obs.schema`` (which works too, but triggers Python's
+found-in-sys.modules runpy warning because the package init imports the
+schema module).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.obs.schema import main
+
+if __name__ == "__main__":
+    sys.exit(main())

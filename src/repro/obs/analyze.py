@@ -1,0 +1,239 @@
+"""EXPLAIN ANALYZE renderers and trace summaries for both hosts.
+
+This module executes queries with tracing on and renders the resulting
+span tree next to the static plan — per-stage actual rows, matcher
+steps, inclusive wall time, peak materialized rows for blocking stages,
+and the planner's estimated-vs-actual cardinalities where a search span
+carries an anchor choice.
+
+It imports the GQL and SQL layers, so it must NOT be imported from
+``repro.obs.__init__`` (the engine imports ``repro.obs.trace``, which
+triggers the package init — a cycle).  Callers import it explicitly or
+lazily: ``from repro.obs.analyze import explain_analyze_gql``.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, List, Optional
+
+from repro.gpml.matcher import MatcherConfig
+from repro.gpml.streaming import PipelineStats
+from repro.graph.model import PropertyGraph
+from repro.obs.trace import QueryTrace, Span
+
+
+# --------------------------------------------------------------------------
+# Span formatting (shared by every renderer)
+
+
+def format_actuals(span: Span) -> str:
+    """``rows=…, steps=…, time=…ms`` for one span (omit zero fields)."""
+    parts = [f"rows={span.rows_out}"]
+    if span.rows_in and span.rows_in != span.rows_out:
+        parts.append(f"rows_in={span.rows_in}")
+    if span.steps:
+        parts.append(f"steps={span.steps}")
+    if span.peak_rows is not None:
+        parts.append(f"peak={span.peak_rows}")
+    parts.append(f"time={span.elapsed_ms:.2f}ms")
+    for name, value in span.counts.items():
+        parts.append(f"{name}={value}")
+    return ", ".join(parts)
+
+
+def estimate_lines(span: Span) -> List[str]:
+    """Estimated-vs-actual cardinality lines for an anchored search span."""
+    meta = span.meta
+    if "anchor" not in meta:
+        return []
+    lines = [f"anchor: {meta['anchor']}"]
+    estimated = meta.get("est_candidates")
+    observed = meta.get("observed_candidates")
+    if estimated is not None:
+        actual = "?" if observed is None else observed
+        lines.append(f"est candidates={estimated:g} actual={actual}")
+    est_rows = meta.get("est_rows")
+    if est_rows is not None:
+        lines.append(f"est rows={est_rows:g} actual={span.rows_out}")
+    return lines
+
+
+def render_span(span: Span, indent: str = "") -> List[str]:
+    """Indented text rendering of a span subtree with actuals."""
+    lines = [f"{indent}{span.name} ({format_actuals(span)})"]
+    child_indent = indent + "  "
+    for extra in estimate_lines(span):
+        lines.append(f"{child_indent}{extra}")
+    for event in span.events:
+        payload = ", ".join(
+            f"{key}={value}" for key, value in event.items() if key != "event"
+        )
+        suffix = f" ({payload})" if payload else ""
+        lines.append(f"{child_indent}event: {event['event']}{suffix}")
+    for child in span.children:
+        lines.extend(render_span(child, child_indent))
+    return lines
+
+
+def render_trace(trace: QueryTrace, indent: str = "") -> List[str]:
+    """Render all top-level spans of a trace (the root itself is elided)."""
+    lines: List[str] = []
+    for event in trace.root.events:
+        payload = ", ".join(
+            f"{key}={value}" for key, value in event.items() if key != "event"
+        )
+        suffix = f" ({payload})" if payload else ""
+        lines.append(f"{indent}event: {event['event']}{suffix}")
+    for child in trace.root.children:
+        lines.extend(render_span(child, indent))
+    return lines
+
+
+# --------------------------------------------------------------------------
+# GPML / GQL
+
+
+def explain_analyze_match(
+    graph: PropertyGraph,
+    query: Any,
+    config: Optional[MatcherConfig] = None,
+    stats: Optional[PipelineStats] = None,
+) -> str:
+    """Execute a bare MATCH with tracing and render per-stage actuals."""
+    from repro.gpml.engine import match_iter
+
+    stats = _ensure_trace(stats, query, engine="gpml")
+    start = perf_counter()
+    rows = list(match_iter(graph, query, config, stats=stats))
+    elapsed_ms = (perf_counter() - start) * 1000.0
+    lines = [
+        "EXPLAIN ANALYZE (gpml)",
+        f"actual: {len(rows)} row(s), {stats.steps} matcher steps, "
+        f"{stats.matches} raw matches, {elapsed_ms:.2f}ms",
+    ]
+    lines.extend(render_trace(stats.trace, indent="  "))
+    return "\n".join(lines)
+
+
+def explain_analyze_gql(
+    graph: PropertyGraph,
+    query: Any,
+    config: Optional[MatcherConfig] = None,
+    stats: Optional[PipelineStats] = None,
+) -> str:
+    """Execute a GQL read query with tracing and render per-stage actuals.
+
+    The output follows the span tree (one block per statement, pattern
+    stages nested), annotated ``rows=…, steps=…, time=…ms`` plus the
+    planner's estimated-vs-actual cardinality on anchored searches.
+    """
+    from repro.gql.query import execute_gql_iter
+
+    stats = _ensure_trace(stats, query, engine="gql")
+    start = perf_counter()
+    records = list(execute_gql_iter(graph, query, config, stats=stats))
+    elapsed_ms = (perf_counter() - start) * 1000.0
+    lines = [
+        "EXPLAIN ANALYZE (gql)",
+        f"actual: {len(records)} record(s), {stats.steps} matcher steps, "
+        f"{stats.matches} raw matches, {elapsed_ms:.2f}ms",
+    ]
+    lines.extend(render_trace(stats.trace, indent="  "))
+    return "\n".join(lines)
+
+
+def _ensure_trace(
+    stats: Optional[PipelineStats], query: Any, engine: str
+) -> PipelineStats:
+    if stats is None:
+        stats = PipelineStats()
+    if stats.trace is None:
+        if not isinstance(query, str):
+            query = getattr(query, "text", None)
+        stats.trace = QueryTrace(query=query, engine=engine)
+    return stats
+
+
+# --------------------------------------------------------------------------
+# SQL
+
+
+def render_analyzed_plan(
+    op: Any, stats: PipelineStats, elapsed_ms: float, delivered: int
+) -> List[str]:
+    """Annotate an executed operator tree with its spans' actuals.
+
+    ``op`` is the plan root after ``attach_spans`` + a full drain; the
+    rendering mirrors ``render_plan`` but swaps the static detail lines
+    for per-operator actuals and nests the GPML engine's stage spans
+    under each graph scan.
+    """
+    lines = [
+        "EXPLAIN ANALYZE (sql)",
+        f"actual: {delivered} row(s), {stats.steps} matcher steps, "
+        f"{elapsed_ms:.2f}ms",
+    ]
+    trace = stats.trace
+    if trace is not None:
+        for event in trace.root.events:
+            payload = ", ".join(
+                f"{key}={value}" for key, value in event.items() if key != "event"
+            )
+            lines.append(f"event: {event['event']}" + (f" ({payload})" if payload else ""))
+    lines.extend(_render_operator(op, ""))
+    return lines
+
+
+def _render_operator(op: Any, indent: str) -> List[str]:
+    span = op.span
+    if span is None:  # pragma: no cover - analyze always attaches spans
+        lines = [f"{indent}{op.describe()}"]
+    else:
+        lines = [f"{indent}{op.describe()} ({format_actuals(span)})"]
+    child_indent = indent + "  "
+    for predicate in getattr(op, "pushed_predicates", ()) or ():
+        lines.append(f"{child_indent}pushed into MATCH: {predicate}")
+    if span is not None:
+        # Engine stage spans (non-operator children) nest under scans.
+        for child in span.children:
+            if child.kind != "operator":
+                lines.extend(render_span(child, child_indent))
+    for child_op in op.children:
+        lines.extend(_render_operator(child_op, child_indent))
+    return lines
+
+
+# --------------------------------------------------------------------------
+# CLI helpers
+
+
+def plan_summary(trace: QueryTrace) -> Optional[str]:
+    """One line about planner decisions, for ``--stats`` output.
+
+    Collects the anchor each traced search ran with, the join order (if
+    the planner reordered a multi-pattern join), and seeded-statement
+    tallies.  Returns None when the trace recorded no planner activity.
+    """
+    parts: List[str] = []
+    for span in trace.walk():
+        for event in span.events:
+            if event["event"] == "join_order":
+                parts.append(f"join order {event['order']}")
+            elif event["event"] == "predicate_pushdown":
+                parts.append(
+                    f"pushed into {event['graph_table']}: "
+                    f"{'; '.join(event['predicates'])}"
+                )
+        anchor = span.meta.get("anchor")
+        if anchor is not None:
+            label = span.name.split(" search ")[0]
+            parts.append(f"{label} anchor {anchor}")
+        runs = span.counts.get("seeded_runs")
+        if runs:
+            hits = span.counts.get("seed_memo_hit", 0)
+            label = span.name.split(":")[0]
+            parts.append(f"{label} seeded ({runs} runs, {hits} memo hits)")
+    if not parts:
+        return None
+    return "; ".join(parts)

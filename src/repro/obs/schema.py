@@ -1,0 +1,206 @@
+"""Validators for the machine-readable observability documents.
+
+Two document families share this module:
+
+* ``repro.trace/v1`` — a :class:`~repro.obs.trace.QueryTrace` export
+  (``trace.to_dict()`` / ``--trace-json FILE``).
+* ``repro.bench/v1`` — the perf-trajectory file
+  (``BENCH_observability.json``) written by ``benchmarks/reporting.py``
+  and appended to by later perf PRs.
+
+Validation is hand-rolled (no jsonschema dependency): each checker
+raises :class:`SchemaError` with a JSON-pointer-ish path on the first
+violation.  ``python -m repro.obs.schema FILE...`` validates files from
+the command line (used by the CI ``bench-report`` job).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.trace import TRACE_SCHEMA
+
+#: schema tag for the benchmark trajectory document.
+BENCH_SCHEMA = "repro.bench/v1"
+
+
+class SchemaError(ValueError):
+    """A document does not match its declared schema."""
+
+
+def _require(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise SchemaError(f"{path}: {message}")
+
+
+def _int(value: Any, path: str, *, optional: bool = False) -> None:
+    if optional and value is None:
+        return
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        path,
+        f"expected an integer, got {type(value).__name__}",
+    )
+
+
+def _number(value: Any, path: str) -> None:
+    _require(
+        isinstance(value, (int, float)) and not isinstance(value, bool),
+        path,
+        f"expected a number, got {type(value).__name__}",
+    )
+
+
+def _str(value: Any, path: str, *, optional: bool = False) -> None:
+    if optional and value is None:
+        return
+    _require(isinstance(value, str), path, f"expected a string, got {type(value).__name__}")
+
+
+# --------------------------------------------------------------------------
+# repro.trace/v1
+
+
+_SPAN_FIELDS = {
+    "name",
+    "kind",
+    "elapsed_ms",
+    "rows_in",
+    "rows_out",
+    "steps",
+    "matches",
+    "peak_rows",
+    "meta",
+    "counts",
+    "events",
+    "children",
+}
+
+
+def validate_span(span: Any, path: str = "root") -> None:
+    """Validate one span dict (recursively) of a trace document."""
+    _require(isinstance(span, dict), path, "span must be an object")
+    missing = _SPAN_FIELDS - span.keys()
+    _require(not missing, path, f"span is missing fields {sorted(missing)}")
+    _str(span["name"], f"{path}.name")
+    _str(span["kind"], f"{path}.kind")
+    _number(span["elapsed_ms"], f"{path}.elapsed_ms")
+    for counter in ("rows_in", "rows_out", "steps", "matches"):
+        _int(span[counter], f"{path}.{counter}")
+    _int(span["peak_rows"], f"{path}.peak_rows", optional=True)
+    _require(isinstance(span["meta"], dict), f"{path}.meta", "must be an object")
+    _require(isinstance(span["counts"], dict), f"{path}.counts", "must be an object")
+    for key, value in span["counts"].items():
+        _int(value, f"{path}.counts.{key}")
+    _require(isinstance(span["events"], list), f"{path}.events", "must be a list")
+    for index, event in enumerate(span["events"]):
+        event_path = f"{path}.events[{index}]"
+        _require(isinstance(event, dict), event_path, "must be an object")
+        _str(event.get("event"), f"{event_path}.event")
+    _require(isinstance(span["children"], list), f"{path}.children", "must be a list")
+    for index, child in enumerate(span["children"]):
+        validate_span(child, f"{path}.children[{index}]")
+
+
+def validate_trace_document(document: Any) -> None:
+    """Validate a ``repro.trace/v1`` document (``trace.to_dict()``)."""
+    _require(isinstance(document, dict), "$", "document must be an object")
+    _require(
+        document.get("schema") == TRACE_SCHEMA,
+        "$.schema",
+        f"expected {TRACE_SCHEMA!r}, got {document.get('schema')!r}",
+    )
+    _str(document.get("engine"), "$.engine", optional=True)
+    _str(document.get("query"), "$.query", optional=True)
+    totals = document.get("totals")
+    _require(isinstance(totals, dict), "$.totals", "must be an object")
+    _int(totals.get("steps"), "$.totals.steps")
+    _int(totals.get("spans"), "$.totals.spans")
+    validate_span(document.get("root"), "$.root")
+    if "stats" in document:
+        stats = document["stats"]
+        _require(isinstance(stats, dict), "$.stats", "must be an object")
+        for counter in ("steps", "matches", "rows"):
+            _int(stats.get(counter), f"$.stats.{counter}")
+
+
+# --------------------------------------------------------------------------
+# repro.bench/v1
+
+
+def validate_bench_result(result: Any, path: str) -> None:
+    """Validate one per-benchmark measurement of a trajectory entry."""
+    _require(isinstance(result, dict), path, "result must be an object")
+    for field in ("name", "engine", "query"):
+        _str(result.get(field), f"{path}.{field}")
+    for counter in ("rows", "steps", "matches"):
+        _int(result.get(counter), f"{path}.{counter}")
+    _number(result.get("wall_ms"), f"{path}.wall_ms")
+
+
+def validate_bench_document(document: Any) -> None:
+    """Validate a ``repro.bench/v1`` document (BENCH_observability.json)."""
+    _require(isinstance(document, dict), "$", "document must be an object")
+    _require(
+        document.get("schema") == BENCH_SCHEMA,
+        "$.schema",
+        f"expected {BENCH_SCHEMA!r}, got {document.get('schema')!r}",
+    )
+    _str(document.get("suite"), "$.suite")
+    entries = document.get("entries")
+    _require(isinstance(entries, list) and entries, "$.entries", "must be a non-empty list")
+    for index, entry in enumerate(entries):
+        path = f"$.entries[{index}]"
+        _require(isinstance(entry, dict), path, "entry must be an object")
+        _str(entry.get("label"), f"{path}.label")
+        graph = entry.get("graph")
+        _require(isinstance(graph, dict), f"{path}.graph", "must be an object")
+        _int(graph.get("nodes"), f"{path}.graph.nodes")
+        _int(graph.get("edges"), f"{path}.graph.edges")
+        results = entry.get("results")
+        _require(
+            isinstance(results, list) and results,
+            f"{path}.results",
+            "must be a non-empty list",
+        )
+        for rindex, result in enumerate(results):
+            validate_bench_result(result, f"{path}.results[{rindex}]")
+
+
+def validate_document(document: Any) -> str:
+    """Dispatch on the ``schema`` tag; return the recognized tag."""
+    tag = document.get("schema") if isinstance(document, dict) else None
+    if tag == TRACE_SCHEMA:
+        validate_trace_document(document)
+    elif tag == BENCH_SCHEMA:
+        validate_bench_document(document)
+    else:
+        raise SchemaError(f"$.schema: unrecognized schema tag {tag!r}")
+    return tag
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Validate JSON documents from the command line."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.schema",
+        description="Validate repro trace/bench JSON documents.",
+    )
+    parser.add_argument("files", nargs="+", help="JSON files to validate")
+    args = parser.parse_args(argv)
+    for name in args.files:
+        with open(name, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        try:
+            tag = validate_document(document)
+        except SchemaError as exc:
+            print(f"{name}: INVALID — {exc}")
+            return 1
+        print(f"{name}: ok ({tag})")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    raise SystemExit(main())

@@ -85,6 +85,8 @@ def iter_graph_table_rows(
     limit: Optional[int] = None,
     budget: Optional[RowBudget] = None,
     stats: Optional[PipelineStats] = None,
+    span=None,
+    count_rows: bool = True,
 ) -> Iterator[tuple]:
     """Stream COLUMNS-projected value rows for a GRAPH_TABLE statement.
 
@@ -93,9 +95,13 @@ def iter_graph_table_rows(
     :func:`~repro.gpml.engine.match_iter` (so ``limit`` and a shared
     ``budget`` cancel the NFA search itself), and each is projected
     through the COLUMNS expressions into a tuple of SQL values.
+    ``span``/``count_rows`` pass through to ``match_iter`` — the SQL
+    scan operator supplies its trace span and counts delivered rows at
+    the statement level instead.
     """
     for row in match_iter(
-        graph, prepared, config, limit=limit, budget=budget, stats=stats
+        graph, prepared, config, limit=limit, budget=budget, stats=stats,
+        span=span, count_rows=count_rows,
     ):
         ctx = EvalContext(bindings=row.values, graph=graph)
         yield tuple(_to_sql_value(expr.evaluate(ctx)) for _, expr in statement.columns)

@@ -174,6 +174,8 @@ class SelectStatement:
 @dataclass
 class ExplainStatement:
     inner: SelectStatement
+    #: EXPLAIN ANALYZE: execute, then render the plan with actuals
+    analyze: bool = False
 
 
 @dataclass

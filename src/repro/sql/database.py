@@ -11,6 +11,7 @@ pipeline of :mod:`repro.sql.planner`, returning ordinary
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Iterator, Optional
 
 from repro.errors import SqlError
@@ -20,7 +21,7 @@ from repro.graph.model import PropertyGraph
 from repro.pgq.catalog import Catalog
 from repro.pgq.table import Table
 from repro.sql import ast
-from repro.sql.operators import render_plan
+from repro.sql.operators import attach_spans, render_plan
 from repro.sql.parser import parse_sql
 from repro.sql.planner import PlannerContext, plan_statement
 
@@ -65,21 +66,28 @@ class Database:
         """Execute one statement.
 
         SELECT returns a :class:`Table`; ``EXPLAIN SELECT`` returns a
-        one-column Table of plan lines; ``CREATE PROPERTY GRAPH`` builds
-        and registers the graph view, returning the
-        :class:`PropertyGraph`.  ``pushdown=False`` disables predicate
-        and row-budget pushdown into GRAPH_TABLE (results are identical;
-        the flag exists for tests and benchmarks).
+        one-column Table of plan lines (``EXPLAIN ANALYZE SELECT``
+        executes first and annotates them with per-operator actuals);
+        ``CREATE PROPERTY GRAPH`` builds and registers the graph view,
+        returning the :class:`PropertyGraph`.  ``pushdown=False``
+        disables predicate and row-budget pushdown into GRAPH_TABLE
+        (results are identical; the flag exists for tests and
+        benchmarks).
         """
         statement = parse_sql(sql)
         if isinstance(statement, ast.CreateGraphStatement):
             return self.catalog.execute(statement.text)
         if isinstance(statement, ast.ExplainStatement):
-            lines = self._plan_lines(statement.inner, config, pushdown)
+            if statement.analyze:
+                lines = self._explain_analyze_lines(
+                    statement.inner, config, stats, pushdown
+                )
+            else:
+                lines = self._plan_lines(statement.inner, config, pushdown)
             return Table(["plan"], [(line,) for line in lines], name="explain")
         plan = self._plan(statement, config, stats, pushdown)
         names = [column.name for column in plan.columns]
-        return Table(names, plan.rows(), name="result")
+        return Table(names, self._delivered(plan.run(), stats), name="result")
 
     def execute_iter(
         self,
@@ -94,7 +102,9 @@ class Database:
             raise SqlError("execute_iter only streams SELECT statements")
         plan = self._plan(statement, config, stats, pushdown)
         names = [column.name for column in plan.columns]
-        return (dict(zip(names, row)) for row in plan.rows())
+        return (
+            dict(zip(names, row)) for row in self._delivered(plan.run(), stats)
+        )
 
     def explain(
         self,
@@ -109,6 +119,29 @@ class Database:
         if not isinstance(statement, ast.SelectStatement):
             raise SqlError("EXPLAIN applies to SELECT statements")
         return "\n".join(self._plan_lines(statement, config, pushdown))
+
+    def explain_analyze(
+        self,
+        sql: str,
+        config: Optional[MatcherConfig] = None,
+        stats: Optional[PipelineStats] = None,
+        pushdown: bool = True,
+    ) -> str:
+        """Execute, then render the plan annotated with actuals.
+
+        Every operator line carries ``rows=…, time=…ms`` (plus ``steps``
+        and estimated-vs-actual cardinality on graph scans, ``peak`` on
+        pipeline breakers), measured by a trace attached to ``stats``
+        (a traced ``stats`` may be passed in to keep the span tree).
+        """
+        statement = parse_sql(sql)
+        if isinstance(statement, ast.ExplainStatement):
+            statement = statement.inner
+        if not isinstance(statement, ast.SelectStatement):
+            raise SqlError("EXPLAIN ANALYZE applies to SELECT statements")
+        return "\n".join(
+            self._explain_analyze_lines(statement, config, stats, pushdown)
+        )
 
     # -- internals ------------------------------------------------------
     def _plan(
@@ -130,3 +163,44 @@ class Database:
         pushdown: bool,
     ) -> list[str]:
         return render_plan(self._plan(statement, config, None, pushdown))
+
+    def _explain_analyze_lines(
+        self,
+        statement: ast.SelectStatement,
+        config: Optional[MatcherConfig],
+        stats: Optional[PipelineStats],
+        pushdown: bool,
+    ) -> list[str]:
+        # Imported lazily: repro.obs.analyze renders both hosts' traces
+        # and importing it at module scope would be a layering inversion.
+        from repro.obs.analyze import render_analyzed_plan
+        from repro.obs.trace import QueryTrace
+
+        if stats is None:
+            stats = PipelineStats()
+        if stats.trace is None:
+            stats.trace = QueryTrace(engine="sql")
+        plan = self._plan(statement, config, stats, pushdown)
+        attach_spans(plan, stats.trace.root)
+        start = perf_counter()
+        delivered = 0
+        for _ in plan.run():
+            delivered += 1
+        elapsed_ms = (perf_counter() - start) * 1000.0
+        stats.rows += delivered
+        return render_analyzed_plan(plan, stats, elapsed_ms, delivered)
+
+    @staticmethod
+    def _delivered(
+        rows: Iterator[tuple], stats: Optional[PipelineStats]
+    ) -> Iterator[tuple]:
+        """Count delivered result rows so ``stats.rows == len(result)``."""
+        if stats is None:
+            return rows
+        return _counted(rows, stats)
+
+
+def _counted(rows: Iterator[tuple], stats: PipelineStats) -> Iterator[tuple]:
+    for row in rows:
+        stats.rows += 1
+        yield row

@@ -24,6 +24,7 @@ from repro.gpml.expr import Expr
 from repro.gpml.matcher import MatcherConfig
 from repro.gpml.streaming import PipelineStats, RowBudget, classify_pipeline, render_pipeline
 from repro.graph.model import PropertyGraph
+from repro.obs.trace import Span, timed_rows
 from repro.pgq.graph_table import GraphTableStatement, iter_graph_table_rows
 from repro.pgq.table import Table
 from repro.sql.binder import Column, evaluate, holds
@@ -31,13 +32,27 @@ from repro.values import NULL, is_null
 
 
 class Operator:
-    """Base class: an output schema plus a lazy row stream."""
+    """Base class: an output schema plus a lazy row stream.
+
+    Operators pull from their children via :meth:`run` (not ``rows()``
+    directly): when EXPLAIN ANALYZE has attached a trace span to an
+    operator, ``run()`` wraps the stream with row/time accounting —
+    otherwise it is ``rows()`` itself, so untraced execution pays one
+    attribute check per operator, not per row.
+    """
 
     columns: list[Column]
     children: list["Operator"]
+    #: trace span attached by :func:`attach_spans` (None = untraced)
+    span: Optional[Span] = None
 
     def rows(self) -> Iterator[tuple]:
         raise NotImplementedError
+
+    def run(self) -> Iterator[tuple]:
+        if self.span is None:
+            return self.rows()
+        return timed_rows(self.span, self.rows())
 
     def describe(self) -> str:
         raise NotImplementedError
@@ -55,6 +70,21 @@ def render_plan(op: Operator, indent: str = "") -> list[str]:
     for child in op.children:
         lines.extend(render_plan(child, child_indent))
     return lines
+
+
+def attach_spans(op: Operator, parent: Span) -> Span:
+    """Mirror the operator tree as trace spans (one per operator).
+
+    Called by EXPLAIN ANALYZE before execution; each operator's
+    :meth:`~Operator.run` then fills in its span.  A
+    :class:`GraphTableScan` additionally threads its span into the GPML
+    engine, so the pattern's stage spans nest under the scan operator.
+    """
+    span = parent.child(op.describe(), kind="operator")
+    op.span = span
+    for child in op.children:
+        attach_spans(child, span)
+    return span
 
 
 def _hashable(value: Any) -> Any:
@@ -125,6 +155,9 @@ class GraphTableScan(Operator):
         self.children = []
 
     def rows(self) -> Iterator[tuple]:
+        # rows here are intermediate (the Database counts delivered result
+        # rows), so count_rows=False; the scan's span — when EXPLAIN
+        # ANALYZE attached one — parents the engine's stage spans.
         return iter_graph_table_rows(
             self.graph,
             self.statement,
@@ -132,6 +165,8 @@ class GraphTableScan(Operator):
             self.config,
             budget=self.budget,
             stats=self.stats,
+            span=self.span,
+            count_rows=False,
         )
 
     def describe(self) -> str:
@@ -181,7 +216,7 @@ class Filter(Operator):
 
     def rows(self) -> Iterator[tuple]:
         predicate = self.predicate
-        for row in self.child.rows():
+        for row in self.child.run():
             if holds(predicate, row):
                 yield row
 
@@ -207,7 +242,7 @@ class Project(Operator):
 
     def rows(self) -> Iterator[tuple]:
         exprs = [expr for _, expr in self.items]
-        for row in self.child.rows():
+        for row in self.child.run():
             yield tuple(evaluate(expr, row) for expr in exprs)
 
     def describe(self) -> str:
@@ -228,7 +263,7 @@ class Distinct(Operator):
 
     def rows(self) -> Iterator[tuple]:
         seen: set[tuple] = set()
-        for row in self.child.rows():
+        for row in self.child.run():
             key = _row_key(row)
             if key not in seen:
                 seen.add(key)
@@ -273,15 +308,17 @@ class Join(Operator):
 
     def _hash_rows(self) -> Iterator[tuple]:
         build: dict[tuple, list[tuple]] = {}
-        for row in self.right.rows():
+        for row in self.right.run():
             key = tuple(_hashable(evaluate(k, row)) for k in self.right_keys)
             if any(is_null(v) for v in key):
                 continue
             build.setdefault(key, []).append(row)
+        if self.span is not None:
+            self.span.peak_rows = sum(len(rows) for rows in build.values())
         if not build:
             return
         residual = self.residual
-        for row in self.left.rows():
+        for row in self.left.run():
             key = tuple(_hashable(evaluate(k, row)) for k in self.left_keys)
             if any(is_null(v) for v in key):
                 continue
@@ -291,11 +328,13 @@ class Join(Operator):
                     yield merged
 
     def _loop_rows(self) -> Iterator[tuple]:
-        build = list(self.right.rows())
+        build = list(self.right.run())
+        if self.span is not None:
+            self.span.peak_rows = len(build)
         if not build:
             return
         residual = self.residual
-        for row in self.left.rows():
+        for row in self.left.run():
             for other in build:
                 merged = row + other
                 if residual is None or holds(residual, merged):
@@ -346,7 +385,7 @@ class Aggregate(Operator):
         groups: dict[tuple, list[tuple]] = {}
         order: list[tuple] = []
         originals: dict[tuple, tuple] = {}
-        for row in self.child.rows():
+        for row in self.child.run():
             values = tuple(evaluate(expr, row) for _, expr in self.keys)
             key = _row_key(values)
             bucket = groups.get(key)
@@ -360,6 +399,8 @@ class Aggregate(Operator):
             order.append(())
             groups[()] = []
             originals[()] = ()
+        if self.span is not None:
+            self.span.peak_rows = sum(len(members) for members in groups.values())
         for key in order:
             members = groups[key]
             out = list(originals[key])
@@ -437,7 +478,9 @@ class Sort(Operator):
         self.children = [child]
 
     def rows(self) -> Iterator[tuple]:
-        rows = list(self.child.rows())
+        rows = list(self.child.run())
+        if self.span is not None:
+            self.span.peak_rows = len(rows)
         for expr, descending in reversed(self.keys):
             rows.sort(key=lambda row: _sort_key(evaluate(expr, row)), reverse=descending)
         return iter(rows)
@@ -484,7 +527,7 @@ class Limit(Operator):
             return
         skipped = 0
         delivered = 0
-        for row in self.child.rows():
+        for row in self.child.run():
             if self.budget is not None:
                 self.budget.take()
             if skipped < self.offset:
@@ -493,6 +536,8 @@ class Limit(Operator):
             yield row
             delivered += 1
             if self.limit is not None and delivered >= self.limit:
+                if self.span is not None and self.budget is not None:
+                    self.span.event("budget_satisfied", taken=self.budget.taken)
                 return
 
     def describe(self) -> str:
@@ -524,12 +569,12 @@ class Union(Operator):
 
     def rows(self) -> Iterator[tuple]:
         if self.all_rows:
-            yield from self.left.rows()
-            yield from self.right.rows()
+            yield from self.left.run()
+            yield from self.right.run()
             return
         seen: set[tuple] = set()
         for side in (self.left, self.right):
-            for row in side.rows():
+            for row in side.run():
                 key = _row_key(row)
                 if key not in seen:
                     seen.add(key)

@@ -2,7 +2,7 @@
 
 Grammar (keywords case-insensitive; identifiers case-sensitive)::
 
-    statement    := select_stmt | EXPLAIN select_stmt
+    statement    := select_stmt | EXPLAIN [ANALYZE] select_stmt
                   | CREATE PROPERTY GRAPH ...           (handed to pgq.ddl)
     select_stmt  := select_core (UNION [ALL] select_core)*
                     [ORDER BY order_item (',' order_item)*]
@@ -88,9 +88,10 @@ class SqlParser(GpmlParser):
         if self.at_word("CREATE"):
             return ast.CreateGraphStatement(text=self.text)
         if self.accept_word("EXPLAIN"):
+            analyze = self.accept_word("ANALYZE")
             statement = self.parse_select_statement()
             self.expect_eof()
-            return ast.ExplainStatement(inner=statement)
+            return ast.ExplainStatement(inner=statement, analyze=analyze)
         statement = self.parse_select_statement()
         self.expect_eof()
         return statement

@@ -132,6 +132,13 @@ def plan_statement(statement: ast.SelectStatement, ctx: PlannerContext) -> Opera
             budget = RowBudget(statement.limit + statement.offset)
             for scan in ctx.graph_scans:
                 scan.budget = budget
+            trace = ctx.stats.trace if ctx.stats is not None else None
+            if trace is not None and ctx.graph_scans:
+                trace.root.event(
+                    "budget_pushdown",
+                    needed=budget.needed,
+                    scans=len(ctx.graph_scans),
+                )
         root = Limit(root, statement.limit, statement.offset, budget)
     return root
 
@@ -427,6 +434,13 @@ def _materialize_leaf(leaf: _Leaf, ctx: PlannerContext) -> Operator:
             pushed_predicates=list(leaf.pushed),
         )
         ctx.graph_scans.append(scan)
+        trace = ctx.stats.trace if ctx.stats is not None else None
+        if trace is not None and leaf.pushed:
+            trace.root.event(
+                "predicate_pushdown",
+                graph_table=item.graph_name,
+                predicates=[str(p) for p in leaf.pushed],
+            )
         op: Operator = scan
     else:
         item = leaf.source.item

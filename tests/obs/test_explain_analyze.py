@@ -1,0 +1,182 @@
+"""EXPLAIN ANALYZE end-to-end on all three surfaces, plus the CLI flags."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.gpml.explain import explain_analyze
+from repro.gpml.streaming import PipelineStats
+from repro.gql import GqlSession
+from repro.obs import validate_trace_document
+from repro.pgq.tabular import tabular_representation
+from repro.sql import Database
+
+FRAUD_GQL = (
+    "MATCH (a:Account WHERE a.isBlocked='no')-[:isLocatedIn]->"
+    "(g:City WHERE g.name='Ankh-Morpork')<-[:isLocatedIn]-"
+    "(b:Account WHERE b.isBlocked='yes'), "
+    "TRAIL p = (a)-[:Transfer]->+(b) "
+    "RETURN DISTINCT a.owner AS A, b.owner AS B ORDER BY A"
+)
+
+
+@pytest.fixture()
+def db(fig1):
+    database = Database()
+    database.register_graph("figure1", fig1)
+    for name, table in tabular_representation(fig1).items():
+        database.register_table(name, table)
+    return database
+
+
+# ----------------------------------------------------------------------
+# GPML core
+# ----------------------------------------------------------------------
+def test_gpml_explain_analyze_reports_actuals(fig1):
+    report = explain_analyze(fig1, "MATCH (a:Account)-[t:Transfer]->(b:Account)")
+    assert report.startswith("EXPLAIN ANALYZE (gpml)")
+    assert "actual: 8 row(s)" in report
+    assert "search" in report and "steps=" in report and "time=" in report
+    assert "anchor:" in report
+    assert "est candidates=" in report and "actual=" in report
+
+
+# ----------------------------------------------------------------------
+# GQL host
+# ----------------------------------------------------------------------
+def test_gql_explain_analyze_fraud_query(fig1):
+    session = GqlSession(fig1)
+    stats = PipelineStats.traced(query=FRAUD_GQL, engine="gql")
+    report = session.explain_analyze(FRAUD_GQL, stats=stats)
+
+    assert report.startswith("EXPLAIN ANALYZE (gql)")
+    assert "actual: 2 record(s)" in report
+    # one block per pipeline stage, statements before RETURN
+    assert report.index("statement #1") < report.index("RETURN")
+    assert "hash-join build" in report and "peak=" in report
+    # estimated-vs-actual cardinality on anchored searches
+    assert "anchor: left via property index Account(isBlocked='no')" in report
+    assert "est rows=" in report
+    # the run really executed: counters populated, results correct
+    assert stats.steps > 0 and stats.rows == 2
+    records = session.execute(FRAUD_GQL)
+    assert [(r["A"], r["B"]) for r in records] == [
+        ("Aretha", "Jay"), ("Dave", "Jay"),
+    ]
+
+
+def test_gql_explain_analyze_matches_flat_counters(fig1):
+    session = GqlSession(fig1)
+    query = (
+        "MATCH (a:Account)-[:Transfer]->(b:Account) "
+        "MATCH (b)-[:Transfer]->(c:Account) "
+        "RETURN a.owner AS src, c.owner AS dst"
+    )
+    stats = PipelineStats.traced()
+    session.explain_analyze(query, stats=stats)
+    assert stats.trace.total_steps() == stats.steps
+    delivered = stats.trace.find("RETURN").rows_out
+    assert delivered == stats.rows
+
+
+# ----------------------------------------------------------------------
+# SQL host
+# ----------------------------------------------------------------------
+def test_sql_explain_analyze_method(db):
+    stats = PipelineStats.traced(engine="sql")
+    report = db.explain_analyze(
+        "SELECT A FROM GRAPH_TABLE(figure1 "
+        "MATCH (a:Account WHERE a.isBlocked='no')-[t:Transfer]->(b:Account) "
+        "COLUMNS (a.owner AS A)) FETCH FIRST 3 ROWS ONLY",
+        stats=stats,
+    )
+    assert report.startswith("EXPLAIN ANALYZE (sql)")
+    assert "actual: 3 row(s)" in report
+    assert "graph_table scan figure1" in report
+    # engine stage spans nest under the scan operator
+    assert "search" in report and "reduce + dedup" in report
+    assert "est candidates=" in report
+    # pushed row budget is visible as an event
+    assert "budget_pushdown" in report
+    assert stats.rows == 3
+
+
+def test_sql_explain_analyze_statement_form(db):
+    table = db.execute(
+        "EXPLAIN ANALYZE SELECT COUNT(*) AS n FROM GRAPH_TABLE(figure1 "
+        "MATCH (a:Account)-[t:Transfer]->(b:Account) COLUMNS (a.owner AS A))"
+    )
+    lines = [row[0] for row in table.rows]
+    assert lines[0] == "EXPLAIN ANALYZE (sql)"
+    assert any("aggregate" in line and "rows=1" in line for line in lines)
+    assert any("peak=" in line for line in lines)
+
+
+def test_sql_plain_explain_stays_static(db):
+    table = db.execute(
+        "EXPLAIN SELECT A FROM GRAPH_TABLE(figure1 "
+        "MATCH (a:Account) COLUMNS (a.owner AS A))"
+    )
+    lines = [row[0] for row in table.rows]
+    assert not any("rows=" in line or "time=" in line for line in lines)
+
+
+def test_sql_explain_analyze_rejects_non_select(db):
+    from repro.errors import SqlError
+
+    with pytest.raises(SqlError):
+        db.explain_analyze("CREATE PROPERTY GRAPH g2 NODE TABLES (accounts)")
+
+
+# ----------------------------------------------------------------------
+# CLI: --analyze / --trace-json / --stats wall time + plan line
+# ----------------------------------------------------------------------
+def test_cli_gql_analyze_and_trace_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = cli_main([
+        "gql",
+        "MATCH (a:Account)-[:Transfer]->(b:Account) "
+        "RETURN a.owner AS src LIMIT 3",
+        "--analyze", "--stats", "--trace-json", str(out),
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "EXPLAIN ANALYZE (gql)" in printed
+    assert "-- stats:" in printed and " ms" in printed
+    assert "-- plan:" in printed and "anchor" in printed
+    document = json.loads(out.read_text(encoding="utf-8"))
+    validate_trace_document(document)
+    assert document["engine"] == "gql"
+
+
+def test_cli_sql_analyze_and_trace_json(tmp_path, capsys):
+    out = tmp_path / "trace.json"
+    code = cli_main([
+        "sql",
+        "SELECT A FROM GRAPH_TABLE(figure1 "
+        'MATCH (a:Account WHERE a.isBlocked="no") COLUMNS (a.owner AS A)) '
+        "LIMIT 2",
+        "--analyze", "--stats", "--trace-json", str(out),
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "EXPLAIN ANALYZE (sql)" in printed
+    assert "-- stats:" in printed and "delivered rows" in printed
+    document = json.loads(out.read_text(encoding="utf-8"))
+    validate_trace_document(document)
+    assert document["engine"] == "sql"
+
+
+def test_cli_stats_reports_wall_time_without_analyze(capsys):
+    code = cli_main([
+        "gql",
+        "MATCH (a:Account) RETURN a.owner AS owner",
+        "--stats",
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "(6 record(s))" in printed
+    assert "-- stats: " in printed
+    stats_line = next(l for l in printed.splitlines() if l.startswith("-- stats:"))
+    assert stats_line.rstrip().endswith("ms")

@@ -1,0 +1,163 @@
+"""Unit tests for the span tree, JSON export, and schema validators."""
+
+import json
+
+import pytest
+
+from repro.gpml.engine import match_iter
+from repro.gpml.streaming import PipelineStats
+from repro.obs import (
+    BENCH_SCHEMA,
+    TRACE_SCHEMA,
+    QueryTrace,
+    SchemaError,
+    Span,
+    counted_in,
+    timed_rows,
+    tracing_stats,
+    validate_bench_document,
+    validate_trace_document,
+)
+from repro.obs.schema import main as schema_main
+
+
+# ----------------------------------------------------------------------
+# Span / QueryTrace basics
+# ----------------------------------------------------------------------
+def test_span_tree_construction():
+    trace = QueryTrace(query="MATCH (a)", engine="gpml")
+    outer = trace.root.child("outer", mode="streaming")
+    inner = outer.child("inner search", kind="stage", anchor="left via x")
+    inner.steps = 7
+    inner.bump("seed_memo_hit")
+    inner.bump("seed_memo_hit")
+    inner.event("budget_satisfied", taken=3)
+
+    assert [s.name for s in trace.walk()] == ["query", "outer", "inner search"]
+    assert trace.find("inner").meta["anchor"] == "left via x"
+    assert trace.find_all("search") == [inner]
+    assert trace.total_steps() == 7
+    assert inner.counts == {"seed_memo_hit": 2}
+    assert inner.events == [{"event": "budget_satisfied", "taken": 3}]
+    assert [(d, s.name) for d, s in trace.root.flatten()] == [
+        (0, "query"), (1, "outer"), (2, "inner search"),
+    ]
+
+
+def test_timed_rows_counts_and_times():
+    span = Span("stage")
+    out = list(timed_rows(span, iter([1, 2, 3])))
+    assert out == [1, 2, 3]
+    assert span.rows_out == 3
+    assert span.elapsed >= 0.0
+
+
+def test_counted_in_counts_consumed_rows():
+    span = Span("stage")
+    assert list(counted_in(span, iter("ab"))) == ["a", "b"]
+    assert span.rows_in == 2
+
+
+def test_tracing_stats_factory():
+    stats = tracing_stats(query="MATCH (a)", engine="gql")
+    assert isinstance(stats, PipelineStats)
+    assert stats.trace is not None
+    assert stats.trace.query == "MATCH (a)"
+    assert stats.trace.engine == "gql"
+    assert PipelineStats.traced().trace is not None
+
+
+# ----------------------------------------------------------------------
+# to_dict / repro.trace/v1
+# ----------------------------------------------------------------------
+def test_trace_to_dict_is_schema_valid_and_json_serializable(fig1):
+    stats = tracing_stats(query="MATCH (a:Account)-[t:Transfer]->(b)", engine="gpml")
+    rows = list(match_iter(fig1, "MATCH (a:Account)-[t:Transfer]->(b)", stats=stats))
+    document = stats.trace.to_dict(stats=stats)
+
+    validate_trace_document(document)
+    json.dumps(document)  # must round-trip without a custom encoder
+    assert document["schema"] == TRACE_SCHEMA
+    assert document["engine"] == "gpml"
+    assert document["totals"]["steps"] == stats.steps
+    assert document["totals"]["spans"] == sum(1 for _ in stats.trace.walk())
+    assert document["stats"] == {
+        "steps": stats.steps, "matches": stats.matches, "rows": len(rows),
+    }
+    names = [child["name"] for child in document["root"]["children"]]
+    assert any("search" in name for name in names)
+
+
+def test_validate_trace_rejects_missing_span_field(fig1):
+    stats = tracing_stats(engine="gpml")
+    list(match_iter(fig1, "MATCH (a:Account)", stats=stats))
+    document = stats.trace.to_dict()
+    del document["root"]["children"][0]["rows_out"]
+    with pytest.raises(SchemaError, match="rows_out"):
+        validate_trace_document(document)
+
+
+def test_validate_trace_rejects_wrong_schema_tag():
+    with pytest.raises(SchemaError, match="schema"):
+        validate_trace_document({"schema": "repro.trace/v999"})
+
+
+# ----------------------------------------------------------------------
+# repro.bench/v1
+# ----------------------------------------------------------------------
+def _bench_doc():
+    return {
+        "schema": BENCH_SCHEMA,
+        "suite": "observability",
+        "entries": [
+            {
+                "label": "baseline",
+                "graph": {"nodes": 10, "edges": 20},
+                "results": [
+                    {
+                        "name": "q1", "engine": "gql", "query": "MATCH (a) RETURN a",
+                        "rows": 5, "steps": 9, "matches": 5, "wall_ms": 1.25,
+                    }
+                ],
+            }
+        ],
+    }
+
+
+def test_validate_bench_document_accepts_reporting_shape():
+    validate_bench_document(_bench_doc())
+
+
+@pytest.mark.parametrize(
+    "mutate,fragment",
+    [
+        (lambda d: d.pop("suite"), "suite"),
+        (lambda d: d["entries"].clear(), "entries"),
+        (lambda d: d["entries"][0]["graph"].pop("edges"), "edges"),
+        (lambda d: d["entries"][0]["results"][0].pop("wall_ms"), "wall_ms"),
+        (
+            lambda d: d["entries"][0]["results"][0].update(steps="many"),
+            "steps",
+        ),
+    ],
+)
+def test_validate_bench_document_rejects_corruption(mutate, fragment):
+    document = _bench_doc()
+    mutate(document)
+    with pytest.raises(SchemaError, match=fragment):
+        validate_bench_document(document)
+
+
+# ----------------------------------------------------------------------
+# the command-line validator
+# ----------------------------------------------------------------------
+def test_schema_cli_validates_and_rejects(tmp_path, capsys):
+    good = tmp_path / "good.json"
+    good.write_text(json.dumps(_bench_doc()), encoding="utf-8")
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "nope"}), encoding="utf-8")
+
+    assert schema_main([str(good)]) == 0
+    assert BENCH_SCHEMA in capsys.readouterr().out
+    assert schema_main([str(bad)]) == 1
+    assert "INVALID" in capsys.readouterr().out
