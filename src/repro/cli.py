@@ -159,6 +159,11 @@ def build_sql_parser() -> argparse.ArgumentParser:
         "--trace-json", metavar="FILE", default=None,
         help="write the query's span tree as JSON (repro.trace/v1 schema)",
     )
+    parser.add_argument(
+        "--no-columnar", action="store_true",
+        help="disable the columnar frontier engine: run pattern searches "
+        "on the object-graph matcher (the reference oracle)",
+    )
     return parser
 
 
@@ -202,6 +207,11 @@ def build_gql_parser() -> argparse.ArgumentParser:
         "--trace-json", metavar="FILE", default=None,
         help="write the query's span tree as JSON (repro.trace/v1 schema)",
     )
+    parser.add_argument(
+        "--no-columnar", action="store_true",
+        help="disable the columnar frontier engine: run pattern searches "
+        "on the object-graph matcher (the reference oracle)",
+    )
     return parser
 
 
@@ -214,7 +224,7 @@ def _write_trace_json(path: str, stats) -> None:
         handle.write("\n")
 
 
-def _print_stats_lines(stats, elapsed_ms: float) -> None:
+def _print_stats_lines(stats, elapsed_ms: float, graph=None) -> None:
     """The ``--stats`` footer: counters + wall time, then planner info."""
     from repro.obs.analyze import plan_summary
 
@@ -227,6 +237,15 @@ def _print_stats_lines(stats, elapsed_ms: float) -> None:
         summary = plan_summary(stats.trace)
         if summary is not None:
             print(f"-- plan: {summary}")
+    if graph is not None:
+        from repro.graph.columnar import storage_stats
+
+        storage = storage_stats(graph)
+        print(
+            f"-- storage: columnar snapshot "
+            f"build {storage['build_ms']:.2f} ms, "
+            f"{storage['misses']} miss(es), {storage['hits']} hit(s)"
+        )
 
 
 def gql_main(argv: list[str]) -> int:
@@ -253,6 +272,11 @@ def gql_main(argv: list[str]) -> int:
         if limit is not None:
             tightened = limit if parsed.limit is None else min(parsed.limit, limit)
             parsed = dataclasses.replace(parsed, limit=tightened)
+        config = None
+        if args.no_columnar:
+            from repro.gpml.matcher import MatcherConfig
+
+            config = MatcherConfig(use_columnar=False)
         stats = None
         if args.stats or args.trace_json or args.analyze:
             stats = PipelineStats.traced(query=query, engine="gql")
@@ -260,9 +284,9 @@ def gql_main(argv: list[str]) -> int:
         if args.analyze:
             from repro.obs.analyze import explain_analyze_gql
 
-            print(explain_analyze_gql(graph, parsed, stats=stats))
+            print(explain_analyze_gql(graph, parsed, config=config, stats=stats))
         else:
-            records = execute_gql_iter(graph, parsed, stats=stats)
+            records = execute_gql_iter(graph, parsed, config=config, stats=stats)
             columns = [item.alias for item in parsed.items]
             header = " | ".join(columns)
             print(header)
@@ -274,7 +298,7 @@ def gql_main(argv: list[str]) -> int:
             print(f"({count} record(s))")
         elapsed_ms = (perf_counter() - start) * 1000.0
         if args.stats:
-            _print_stats_lines(stats, elapsed_ms)
+            _print_stats_lines(stats, elapsed_ms, graph)
         if args.trace_json:
             _write_trace_json(args.trace_json, stats)
         return 0
@@ -309,21 +333,26 @@ def sql_main(argv: list[str]) -> int:
         if args.explain:
             print(database.explain(query))
             return 0
+        config = None
+        if args.no_columnar:
+            from repro.gpml.matcher import MatcherConfig
+
+            config = MatcherConfig(use_columnar=False)
         stats = None
         if args.stats or args.trace_json or args.analyze:
             stats = PipelineStats.traced(query=query, engine="sql")
         start = perf_counter()
         if args.analyze:
-            print(database.explain_analyze(query, stats=stats))
+            print(database.explain_analyze(query, config=config, stats=stats))
         else:
-            result = database.execute(query, stats=stats)
+            result = database.execute(query, config=config, stats=stats)
             if isinstance(result, Table):
                 print(result.pretty(max_rows=50))
             else:  # CREATE PROPERTY GRAPH returns the new graph view
                 print(result)
         elapsed_ms = (perf_counter() - start) * 1000.0
         if args.stats:
-            _print_stats_lines(stats, elapsed_ms)
+            _print_stats_lines(stats, elapsed_ms, graph)
         if args.trace_json:
             _write_trace_json(args.trace_json, stats)
         return 0

@@ -56,6 +56,7 @@ from repro.gpml.analysis import (
 from repro.gpml.automaton import PatternNFA, compile_path_pattern
 from repro.gpml.bindings import PathBinding, ReducedBinding, reduce_binding
 from repro.gpml.expr import EvalContext
+from repro.gpml.frontier import FrontierMatcher
 from repro.gpml.matcher import Matcher, MatcherConfig
 from repro.gpml.normalize import normalize_graph_pattern
 from repro.gpml.parser import parse_match
@@ -412,6 +413,43 @@ def _select_rows(graph: PropertyGraph, partition: list["BindingRow"], keep) -> l
     raise GpmlEvaluationError(f"unknown KEEP selector {kind!r}")
 
 
+def _make_matcher(
+    graph: PropertyGraph,
+    nfa: PatternNFA,
+    pattern,
+    config: MatcherConfig,
+    analysis,
+    *,
+    start_candidates=None,
+    budget: Optional[RowBudget] = None,
+    stats: Optional[PipelineStats] = None,
+):
+    """The search engine for one pattern run: columnar frontier when the
+    pattern is an eligible linear chain (and ``config.use_columnar``),
+    otherwise the object matcher — the reference oracle for everything.
+
+    ``start_candidates`` may be a zero-arg callable: it is materialized
+    only after the engine choice, so a frontier run has already built the
+    columnar snapshot and the planner's candidate source serves itself
+    from column scans instead of object hash indexes.
+    """
+    if config.use_columnar and analysis.strategy == ENUMERATE:
+        spec = FrontierMatcher.supports(graph, nfa, config, budget)
+        if spec is not None:
+            if callable(start_candidates):
+                start_candidates = start_candidates()
+            return FrontierMatcher(
+                graph, nfa, pattern, spec, config,
+                start_candidates=start_candidates, budget=budget, stats=stats,
+            )
+    if callable(start_candidates):
+        start_candidates = start_candidates()
+    return Matcher(
+        graph, nfa, pattern, config,
+        start_candidates=start_candidates, budget=budget, stats=stats,
+    )
+
+
 def iter_solve_path_pattern(
     graph: PropertyGraph,
     prepared: PreparedQuery,
@@ -448,21 +486,24 @@ def iter_solve_path_pattern(
         and pattern_plan.reversed_nfa is not None
     )
     if reversed_run:
-        matcher = Matcher(
+        matcher = _make_matcher(
             graph,
             pattern_plan.reversed_nfa,
             pattern_plan.reversed_path.pattern,
             config,
-            start_candidates=pattern_plan.start_candidates(graph),
+            analysis,
+            start_candidates=lambda: pattern_plan.start_candidates(graph),
             budget=budget,
             stats=stats,
         )
     else:
         start = (
-            pattern_plan.start_candidates(graph) if pattern_plan is not None else None
+            (lambda: pattern_plan.start_candidates(graph))
+            if pattern_plan is not None
+            else None
         )
-        matcher = Matcher(
-            graph, nfa, path.pattern, config,
+        matcher = _make_matcher(
+            graph, nfa, path.pattern, config, analysis,
             start_candidates=start, budget=budget, stats=stats,
         )
 
@@ -562,6 +603,16 @@ def _iter_pattern_solutions(
                 search_span.meta["observed_candidates"] = (
                     matcher.initial_candidate_count
                 )
+                metrics = getattr(matcher, "metrics", None)
+                if metrics is not None:
+                    search_span.meta["engine"] = "columnar"
+                    for counter, value in metrics.items():
+                        search_span.counts[counter] = value
+                    examined = metrics.get("frontier_entries", 0)
+                    if examined:
+                        search_span.meta["vector_selectivity"] = (
+                            metrics.get("frontier_survivors", 0) / examined
+                        )
             if on_finish is not None:
                 on_finish()
 
@@ -639,8 +690,8 @@ def iter_seeded_rows(
         run_path, run_nfa = reversed_run
     else:
         run_path, run_nfa = path, prepared.nfas[0]
-    matcher = Matcher(
-        graph, run_nfa, run_path.pattern, config,
+    matcher = _make_matcher(
+        graph, run_nfa, run_path.pattern, config, analysis,
         start_candidates=start_nodes, budget=budget, stats=stats,
     )
     # Selector note: a seeded run restricts the search to whole endpoint

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from repro.gpml import ast
 from repro.gpml.engine import PreparedQuery, prepare
+from repro.gpml.matcher import MatcherConfig
 from repro.gpml.streaming import classify_pipeline, render_pipeline
 from repro.graph.model import PropertyGraph
 from repro.planner.plan import plan_query
@@ -82,7 +83,11 @@ def explain_plan(graph: PropertyGraph, query: "str | PreparedQuery") -> str:
     )
 
 
-def explain_analyze(graph: PropertyGraph, query: "str | PreparedQuery") -> str:
+def explain_analyze(
+    graph: PropertyGraph,
+    query: "str | PreparedQuery",
+    config: "MatcherConfig | None" = None,
+) -> str:
     """Execute a MATCH on *graph* and render per-stage actuals.
 
     The runtime companion to :func:`explain` / :func:`explain_plan`:
@@ -93,7 +98,7 @@ def explain_analyze(graph: PropertyGraph, query: "str | PreparedQuery") -> str:
     # Imported lazily: repro.obs.analyze depends on higher layers.
     from repro.obs.analyze import explain_analyze_match
 
-    return explain_analyze_match(graph, query)
+    return explain_analyze_match(graph, query, config=config)
 
 
 def explain_automaton(query: "str | PreparedQuery", index: int = 0) -> str:

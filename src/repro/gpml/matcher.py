@@ -51,7 +51,8 @@ quantifiers do not take part in shortest-search pruning keys.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Optional
 
 from repro.errors import BudgetExceededError, GpmlEvaluationError
@@ -75,6 +76,11 @@ from repro.planner.indexes import initial_node_candidates
 from repro.values import NULL, is_null
 
 
+def _columnar_default() -> bool:
+    """Columnar frontier on unless REPRO_DISABLE_COLUMNAR=1 (oracle runs)."""
+    return os.environ.get("REPRO_DISABLE_COLUMNAR") != "1"
+
+
 @dataclass
 class MatcherConfig:
     """Safety budgets and knobs; defaults suit laptop-scale graphs."""
@@ -88,6 +94,10 @@ class MatcherConfig:
     #: seed a chained GQL MATCH from variables bound by earlier statements
     #: (per-incoming-row anchored search; off = always hash-join fallback)
     seed_chained_match: bool = True
+    #: run eligible linear-chain patterns on the columnar frontier engine
+    #: (repro.gpml.frontier); off = the object matcher, the reference
+    #: oracle.  Env override: REPRO_DISABLE_COLUMNAR=1 flips the default.
+    use_columnar: bool = field(default_factory=lambda: _columnar_default())
 
 
 # ----------------------------------------------------------------------

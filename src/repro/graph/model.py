@@ -236,6 +236,11 @@ class PropertyGraph:
         self._node_label_index: dict[str, set[str]] = {}
         self._edge_label_index: dict[str, set[str]] = {}
         self._incidence_label_cache: dict[str, dict[str, list[Incidence]]] = {}
+        # Version-stamped memo of incidences() results: traversal loops
+        # revisit the same nodes, so the per-call defensive copy is paid
+        # once per node per graph version instead of once per visit.
+        self._incidence_memo: dict[str, list[Incidence]] = {}
+        self._incidence_memo_version = -1
         # Property-value hash indexes, keyed (kind, label-or-None, property).
         # Maintained incrementally by every mutation below; see create_index.
         self._property_indexes: dict[
@@ -552,10 +557,22 @@ class PropertyGraph:
         return len(self._edges)
 
     def incidences(self, node_id: str) -> list[Incidence]:
-        """All ways of leaving *node_id* along an incident edge."""
-        if node_id not in self._incidence:
-            raise GraphError(f"unknown node {node_id!r}")
-        return list(self._incidence[node_id])
+        """All ways of leaving *node_id* along an incident edge.
+
+        Memoized per graph version: repeat calls return the same list
+        object until a mutation bumps :attr:`version`, so callers must
+        treat the result as read-only.
+        """
+        if self._incidence_memo_version != self._version:
+            self._incidence_memo.clear()
+            self._incidence_memo_version = self._version
+        cached = self._incidence_memo.get(node_id)
+        if cached is None:
+            if node_id not in self._incidence:
+                raise GraphError(f"unknown node {node_id!r}")
+            cached = list(self._incidence[node_id])
+            self._incidence_memo[node_id] = cached
+        return cached
 
     def incidences_with_label(self, node_id: str, label: str) -> list[Incidence]:
         """Incidences whose edge carries *label* (lazily cached per node).

@@ -142,6 +142,152 @@ class CardinalityStatistics:
         return count / total
 
 
+class LazyCardinalityStatistics:
+    """Pay-as-you-go twin of :class:`CardinalityStatistics`.
+
+    The eager collector costs one full graph pass — on a 60k-node graph
+    that is ~1s before the first matcher step runs.  This class exposes
+    the same read API but computes each number on first use, from the
+    graph's always-maintained label indexes:
+
+    * label cardinalities are ``len()`` of an index set — O(1),
+    * distinct-value counts scan only the requested label's members,
+    * label-pair counters scan only the requested edge label's members.
+
+    Every number is **identical** to the eager collector's (same repr
+    fallback for unhashable values, same UNLABELED bookkeeping, same
+    both-orientations rule for undirected edges), so planner decisions —
+    anchor sides, candidate sources, join orders — cannot diverge.  The
+    instance is valid for one graph version; the catalog cache discards
+    it when :attr:`PropertyGraph.version` moves.
+    """
+
+    def __init__(self, graph: PropertyGraph):
+        self._graph = graph
+        self.version = graph.version
+        self.num_nodes = graph.num_nodes
+        self.num_edges = graph.num_edges
+        self._distinct: dict[tuple[str, Optional[str], str], int] = {}
+        self._pairs: dict[Optional[str], dict] = {}
+        self._node_label_counts: Optional[dict[Optional[str], int]] = None
+        self._edge_label_counts: Optional[dict[Optional[str], int]] = None
+
+    # -- label cardinalities (O(1) from the live label indexes) --------
+    def node_count(self, label: Optional[str]) -> int:
+        if label is None:
+            return self.num_nodes
+        return len(self._graph._node_label_index.get(label, ()))
+
+    def edge_count(self, label: Optional[str]) -> int:
+        if label is None:
+            return self.num_edges
+        return len(self._graph._edge_label_index.get(label, ()))
+
+    @property
+    def node_label_counts(self) -> dict[Optional[str], int]:
+        if self._node_label_counts is None:
+            counts: dict[Optional[str], int] = {
+                label: len(members)
+                for label, members in self._graph._node_label_index.items()
+                if members
+            }
+            labeled: set[str] = set()
+            for members in self._graph._node_label_index.values():
+                labeled.update(members)
+            unlabeled = self.num_nodes - len(labeled)
+            if unlabeled:
+                counts[UNLABELED] = unlabeled
+            self._node_label_counts = counts
+        return self._node_label_counts
+
+    @property
+    def edge_label_counts(self) -> dict[Optional[str], int]:
+        if self._edge_label_counts is None:
+            counts: dict[Optional[str], int] = {
+                label: len(members)
+                for label, members in self._graph._edge_label_index.items()
+                if members
+            }
+            labeled: set[str] = set()
+            for members in self._graph._edge_label_index.values():
+                labeled.update(members)
+            unlabeled = self.num_edges - len(labeled)
+            if unlabeled:
+                counts[UNLABELED] = unlabeled
+            self._edge_label_counts = counts
+        return self._edge_label_counts
+
+    # -- distinct-value counts (scan one label's members on demand) ----
+    def distinct(self, kind: str, label: Optional[str], prop: str) -> int:
+        key = (kind, label, prop)
+        cached = self._distinct.get(key)
+        if cached is not None:
+            return cached
+        graph = self._graph
+        store = graph._nodes if kind == "node" else graph._edges
+        if label is None:
+            members = store
+        else:
+            index = (
+                graph._node_label_index if kind == "node" else graph._edge_label_index
+            )
+            members = index.get(label, ())
+        values = set()
+        for element_id in members:
+            properties = store[element_id].properties
+            if prop in properties:
+                value = properties[prop]
+                try:
+                    hash(value)
+                except TypeError:
+                    value = repr(value)
+                values.add(value)
+        count = len(values)
+        self._distinct[key] = count
+        return count
+
+    # -- label-pair selectivity (scan one edge label on demand) --------
+    def pair_selectivity(
+        self,
+        edge_label: Optional[str],
+        source_label: Optional[str],
+        target_label: Optional[str],
+    ) -> float:
+        pairs = self._pairs.get(edge_label)
+        if pairs is None:
+            pairs = self._collect_pairs(edge_label)
+            self._pairs[edge_label] = pairs
+        total = self.edge_count(edge_label)
+        if not pairs or not total:
+            return 1.0
+        count = pairs.get((source_label, target_label), 0)
+        return count / total
+
+    def _collect_pairs(self, edge_label: Optional[str]) -> dict:
+        graph = self._graph
+        if edge_label is None:
+            members = (
+                eid for eid, data in graph._edges.items() if not data.labels
+            )
+        else:
+            members = graph._edge_label_index.get(edge_label, ())
+        pairs: Counter = Counter()
+        labels_of = graph.labels_of
+        edges = graph._edges
+        for eid in members:
+            data = edges[eid]
+            source_labels = tuple(labels_of(data.first)) or (UNLABELED,)
+            target_labels = tuple(labels_of(data.second)) or (UNLABELED,)
+            orientations = [(source_labels, target_labels)]
+            if not data.directed:
+                orientations.append((target_labels, source_labels))
+            for src_labels, dst_labels in orientations:
+                for src in src_labels:
+                    for dst in dst_labels:
+                        pairs[(src, dst)] += 1
+        return dict(pairs)
+
+
 def cardinality_statistics(graph: PropertyGraph) -> CardinalityStatistics:
     """One full pass over the graph collecting the planner's catalog."""
     node_label_counts: Counter = Counter()

@@ -59,10 +59,23 @@ def estimate_lines(span: Span) -> List[str]:
     return lines
 
 
+def engine_lines(span: Span) -> List[str]:
+    """Engine-choice line for search spans (columnar frontier details)."""
+    engine = span.meta.get("engine")
+    if engine is None:
+        return []
+    selectivity = span.meta.get("vector_selectivity")
+    if selectivity is None:
+        return [f"engine: {engine}"]
+    return [f"engine: {engine} (vector selectivity={selectivity:.3f})"]
+
+
 def render_span(span: Span, indent: str = "") -> List[str]:
     """Indented text rendering of a span subtree with actuals."""
     lines = [f"{indent}{span.name} ({format_actuals(span)})"]
     child_indent = indent + "  "
+    for extra in engine_lines(span):
+        lines.append(f"{child_indent}{extra}")
     for extra in estimate_lines(span):
         lines.append(f"{child_indent}{extra}")
     for event in span.events:

@@ -22,6 +22,7 @@ from typing import Any, Optional
 from repro.gpml import ast
 from repro.gpml.expr import And, Comparison, Expr, Literal, PropertyRef
 from repro.gpml.label_expr import LabelAnd, LabelAtom, LabelExpr, LabelOr
+from repro.graph.columnar import cached_snapshot
 from repro.graph.model import PropertyGraph
 from repro.planner.stats import StatisticsCatalog
 
@@ -117,17 +118,30 @@ class CandidateSource:
     lookups: list[tuple[Optional[str], str, Any]] = field(default_factory=list)
 
     def candidate_ids(self, graph: PropertyGraph) -> Optional[list[str]]:
-        """Sorted candidate node ids; None means "scan everything"."""
+        """Sorted candidate node ids; None means "scan everything".
+
+        When a current columnar snapshot exists (the frontier engine
+        built one for this graph version), label scans and index probes
+        are served from its member lists and property columns — same
+        ids, same order, no object-graph hash-index build.
+        """
         if self.kind == FULL_SCAN:
             return None
+        snapshot = cached_snapshot(graph)
         if self.kind == LABEL_SCAN:
             out: set[str] = set()
             for label in self.labels or ():
-                out.update(node.id for node in graph.nodes_with_label(label))
+                if snapshot is not None:
+                    out.update(snapshot.label_members_sorted(label))
+                else:
+                    out.update(node.id for node in graph.nodes_with_label(label))
             return sorted(out)
         out = set()
         for label, prop, value in self.lookups:
-            out.update(graph.index_lookup(label, prop, value, kind="node"))
+            if snapshot is not None:
+                out |= snapshot.equality_scan(label, prop, value)
+            else:
+                out.update(graph.index_lookup(label, prop, value, kind="node"))
         return sorted(out)
 
     def describe(self) -> str:

@@ -42,6 +42,24 @@ def test_gpml_explain_analyze_reports_actuals(fig1):
     assert "est candidates=" in report and "actual=" in report
 
 
+def test_gpml_explain_analyze_reports_frontier_counters(fig1):
+    from repro.gpml.matcher import MatcherConfig
+
+    query = "MATCH (a:Account)-[t:Transfer]->(b:Account)"
+    report = explain_analyze(fig1, query, config=MatcherConfig(use_columnar=True))
+    # The chain query takes the columnar frontier: the search span
+    # carries frontier sizes and the vectorized-filter selectivity.
+    assert "engine: columnar" in report
+    assert "frontier_slices=" in report
+    assert "frontier_entries=" in report
+    assert "frontier_survivors=" in report
+    assert "vector selectivity=" in report
+
+    oracle = explain_analyze(fig1, query, config=MatcherConfig(use_columnar=False))
+    assert "engine: columnar" not in oracle
+    assert "frontier_entries=" not in oracle
+
+
 # ----------------------------------------------------------------------
 # GQL host
 # ----------------------------------------------------------------------
@@ -180,3 +198,53 @@ def test_cli_stats_reports_wall_time_without_analyze(capsys):
     assert "-- stats: " in printed
     stats_line = next(l for l in printed.splitlines() if l.startswith("-- stats:"))
     assert stats_line.rstrip().endswith("ms")
+
+
+def test_cli_stats_reports_storage_line(capsys, monkeypatch):
+    # The columnar default must be on for this run, whatever the outer
+    # environment (the oracle-mode CI job sets REPRO_DISABLE_COLUMNAR).
+    monkeypatch.delenv("REPRO_DISABLE_COLUMNAR", raising=False)
+    code = cli_main([
+        "gql",
+        "MATCH (a:Account)-[t:Transfer]->(b:Account) RETURN a.owner AS owner",
+        "--stats",
+    ])
+    assert code == 0
+    printed = capsys.readouterr().out
+    storage = next(l for l in printed.splitlines() if l.startswith("-- storage:"))
+    # The chain query built (or reused) a columnar snapshot.
+    assert "columnar snapshot" in storage
+    assert "miss(es)" in storage and "hit(s)" in storage
+    assert "0 miss(es), 0 hit(s)" not in storage
+
+
+def test_cli_no_columnar_runs_on_oracle(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_DISABLE_COLUMNAR", raising=False)
+    query = "MATCH (a:Account)-[t:Transfer]->(b:Account) RETURN a.owner AS owner"
+    for extra in ([], ["--no-columnar"]):
+        code = cli_main(["gql", query, "--stats", "--analyze", *extra])
+        assert code == 0
+    outputs = capsys.readouterr().out.split("EXPLAIN ANALYZE (gql)")
+    columnar_run, oracle_run = outputs[1], outputs[2]
+    assert "engine: columnar" in columnar_run
+    assert "engine: columnar" not in oracle_run
+    # Identical matcher counters (wall time aside): step-equivalent engines.
+    def counters(text):
+        line = next(l for l in text.splitlines() if l.startswith("-- stats:"))
+        return line.rsplit(",", 1)[0]
+
+    assert counters(columnar_run) == counters(oracle_run)
+
+
+def test_cli_sql_no_columnar(capsys):
+    query = (
+        "SELECT src FROM GRAPH_TABLE(figure1 "
+        "MATCH (a:Account)-[t:Transfer]->(b:Account) "
+        "COLUMNS (a.owner AS src))"
+    )
+    code = cli_main(["sql", query, "--stats", "--no-columnar"])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "-- stats: " in printed
+    storage = next(l for l in printed.splitlines() if l.startswith("-- storage:"))
+    assert "0 miss(es), 0 hit(s)" in storage  # oracle mode: no snapshot
