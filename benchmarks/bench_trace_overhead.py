@@ -1,15 +1,19 @@
-"""Guard: tracing must be near-zero overhead when it is off.
+"""Guard: tracing and telemetry must be near-zero overhead.
 
-Runs the same query suite twice — plain :class:`PipelineStats` (no
-trace) and a traced one — interleaved, best-of-5 each, and asserts the
-traced wall time stays within 10% (+ a small absolute epsilon for timer
-noise on sub-millisecond runs) of the untraced time, and that both
-deliver identical results.  The CI ``bench-report`` job runs this as a
-script; under pytest each query is a test case.
+Runs the same query suite three ways — plain :class:`PipelineStats` (no
+trace), a traced one, and a fully metered run (traced stats *plus* a
+workload :class:`~repro.obs.worklog.Telemetry` recording the query into
+its metrics registry and query log) — interleaved, best-of-5 each, and
+asserts both the traced and metered wall times stay within 10% (+ a
+small absolute epsilon for timer noise on sub-millisecond runs) of the
+untraced time, with identical delivered results.  The CI
+``bench-report`` job runs this as a script; under pytest each query is
+a test case.
 
-The 10% bound is the PR's contract: span bookkeeping lives behind
-``span is None`` checks per *stage*, never per row, so turning tracing
-off must cost nothing measurable.
+The 10% bound is the contract: span bookkeeping lives behind ``span is
+None`` checks per *stage*, never per row, and telemetry recording is one
+fingerprint + a handful of counter/histogram updates per *query*, so
+neither may cost anything measurable.
 """
 
 from __future__ import annotations
@@ -28,10 +32,12 @@ from repro.datasets import random_transfer_network  # noqa: E402
 from repro.gpml.engine import match_iter, prepare  # noqa: E402
 from repro.gpml.streaming import PipelineStats  # noqa: E402
 from repro.gql.query import execute_gql_iter, parse_gql_query  # noqa: E402
+from repro.obs.worklog import Telemetry  # noqa: E402
 from repro.pgq.tabular import tabular_representation  # noqa: E402
 from repro.sql.database import Database  # noqa: E402
 
 #: traced_best <= ALLOWED_RATIO * untraced_best + EPSILON_S
+#: metered_best <= ALLOWED_RATIO * untraced_best + EPSILON_S
 ALLOWED_RATIO = 1.10
 EPSILON_S = 0.05
 ROUNDS = 5
@@ -55,20 +61,21 @@ def _gpml_case(graph):
     def run(stats):
         return [row.values["b"].id for row in match_iter(graph, prepared, stats=stats)]
 
-    return run
+    return run, "gpml", prepared.text
 
 
 def _gql_case(graph):
-    parsed = parse_gql_query(
+    query = (
         "MATCH (a:Account WHERE a.isBlocked='yes')-[:Transfer]->(b:Account) "
         "MATCH (b)-[:Transfer]->(c:Account) "
         "RETURN a.owner AS src, c.owner AS dst LIMIT 200"
     )
+    parsed = parse_gql_query(query)
 
     def run(stats):
         return [tuple(r.values()) for r in execute_gql_iter(graph, parsed, stats=stats)]
 
-    return run
+    return run, "gql", query
 
 
 def _sql_case(graph):
@@ -86,18 +93,20 @@ def _sql_case(graph):
     def run(stats):
         return [tuple(r.values()) for r in database.execute_iter(sql, stats=stats)]
 
-    return run
+    return run, "sql", sql
 
 
 CASES = [("gpml", _gpml_case), ("gql", _gql_case), ("sql", _sql_case)]
 
 
-def compare(run):
-    """(untraced_best_s, traced_best_s) over interleaved best-of-ROUNDS.
+def compare(run, engine, query):
+    """(untraced_best_s, traced_best_s, metered_best_s), interleaved.
 
-    Also asserts traced and untraced runs deliver identical results.
+    Best-of-ROUNDS each.  Also asserts all three variants deliver
+    identical results and that the metered telemetry actually recorded.
     """
-    untraced_best = traced_best = float("inf")
+    untraced_best = traced_best = metered_best = float("inf")
+    telemetry = Telemetry(slow_ms=0.0)
     baseline = run(PipelineStats())
     for _ in range(ROUNDS):
         start = perf_counter()
@@ -107,19 +116,38 @@ def compare(run):
         start = perf_counter()
         traced = run(stats)
         traced_best = min(traced_best, perf_counter() - start)
+        metered_stats = telemetry.stats_for(query=query, engine=engine)
+        start = perf_counter()
+        metered = run(metered_stats)
+        telemetry.record_query(
+            engine, query, perf_counter() - start, metered_stats
+        )
+        metered_best = min(metered_best, perf_counter() - start)
         assert plain == baseline
         assert traced == baseline, "tracing changed the query's results"
+        assert metered == baseline, "telemetry changed the query's results"
         assert stats.trace.root.children, "traced run recorded no spans"
-    return untraced_best, traced_best
+    recorded = telemetry.registry.counter(
+        "repro_queries_total", "Queries executed.", ("engine", "fingerprint")
+    )
+    assert sum(recorded._values.values()) >= ROUNDS, (
+        "metered runs were not recorded in the registry"
+    )
+    return untraced_best, traced_best, metered_best
 
 
 @pytest.mark.parametrize("name,make_case", CASES, ids=[c[0] for c in CASES])
 def test_tracing_off_overhead(name, make_case):
-    run = make_case(overhead_graph())
-    untraced, traced = compare(run)
+    run, engine, query = make_case(overhead_graph())
+    untraced, traced, metered = compare(run, engine, query)
     limit = ALLOWED_RATIO * untraced + EPSILON_S
     assert traced <= limit, (
         f"{name}: traced best {traced * 1000:.1f}ms exceeds "
+        f"{ALLOWED_RATIO:.0%} of untraced best {untraced * 1000:.1f}ms "
+        f"(+{EPSILON_S * 1000:.0f}ms epsilon)"
+    )
+    assert metered <= limit, (
+        f"{name}: metered best {metered * 1000:.1f}ms exceeds "
         f"{ALLOWED_RATIO:.0%} of untraced best {untraced * 1000:.1f}ms "
         f"(+{EPSILON_S * 1000:.0f}ms epsilon)"
     )
@@ -129,14 +157,16 @@ def main() -> int:
     graph = overhead_graph()
     failed = False
     for name, make_case in CASES:
-        untraced, traced = compare(make_case(graph))
+        run, engine, query = make_case(graph)
+        untraced, traced, metered = compare(run, engine, query)
         limit = ALLOWED_RATIO * untraced + EPSILON_S
-        verdict = "ok" if traced <= limit else "REGRESSION"
-        if traced > limit:
+        verdict = "ok" if traced <= limit and metered <= limit else "REGRESSION"
+        if traced > limit or metered > limit:
             failed = True
         print(
             f"{name}: untraced {untraced * 1000:.2f}ms, traced "
-            f"{traced * 1000:.2f}ms (limit {limit * 1000:.2f}ms) — {verdict}"
+            f"{traced * 1000:.2f}ms, metered {metered * 1000:.2f}ms "
+            f"(limit {limit * 1000:.2f}ms) — {verdict}"
         )
     return 1 if failed else 0
 

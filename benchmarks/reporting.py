@@ -14,6 +14,18 @@ Usage::
     python benchmarks/reporting.py --accounts 2000 --transfers 4000 \
         --label ci --out BENCH_observability.ci.json    # CI-sized run
 
+``--compare BASELINE_LABEL`` turns the run into a perf-regression gate:
+after measuring, the new entry is diffed per query against the most
+recent prior entry with that label, and the process exits non-zero when
+any query's wall time regresses beyond ``--fail-threshold`` (ratio,
+default 1.5x) plus ``--fail-epsilon-ms`` (absolute slack for
+microsecond-scale queries, default 25 ms).  Compare same-scale runs on
+the same machine — CI records its own baseline entry first.
+
+``--prom-out FILE`` additionally records every suite query into a
+workload :class:`~repro.obs.worklog.Telemetry` and writes the registry
+as a Prometheus text-exposition snapshot.
+
 The suite asserts nothing about timings — it records them.  Each query
 does assert a sanity condition on its result (non-crash + shape), so a
 reporting run doubles as a smoke pass on the big graph.
@@ -113,14 +125,17 @@ def build_suite(graph):
     ]
 
 
-def measure(graph) -> list[dict]:
+def measure(graph, telemetry=None) -> list[dict]:
     results = []
     for name, engine, query, run in build_suite(graph):
         stats = PipelineStats()
         start = perf_counter()
         rows = run(stats)
-        wall_ms = (perf_counter() - start) * 1000.0
+        wall_s = perf_counter() - start
+        wall_ms = wall_s * 1000.0
         assert rows == stats.rows, f"{name}: delivered {rows} != stats.rows {stats.rows}"
+        if telemetry is not None:
+            telemetry.record_query(engine, query, wall_s, stats)
         results.append(
             {
                 "name": name,
@@ -137,6 +152,54 @@ def measure(graph) -> list[dict]:
             f"wall={wall_ms:.1f}ms"
         )
     return results
+
+
+def compare_entries(baseline, entry, threshold=1.5, epsilon_ms=25.0):
+    """Per-query wall-time diff of two trajectory entries.
+
+    Returns ``(diffs, regressions)``: one diff dict per query present in
+    both entries (``name``, ``base_ms``, ``new_ms``, ``ratio``,
+    ``regressed``), and the regressed subset.  A query regresses when
+    ``new_ms > base_ms * threshold + epsilon_ms`` — the multiplicative
+    threshold catches real slowdowns, the additive epsilon keeps
+    microsecond-scale queries from tripping the gate on timer noise.
+    """
+    base_by_name = {result["name"]: result for result in baseline["results"]}
+    diffs = []
+    for result in entry["results"]:
+        base = base_by_name.get(result["name"])
+        if base is None:
+            continue
+        base_ms = base["wall_ms"]
+        new_ms = result["wall_ms"]
+        diffs.append(
+            {
+                "name": result["name"],
+                "base_ms": base_ms,
+                "new_ms": new_ms,
+                "ratio": new_ms / base_ms if base_ms > 0 else float("inf"),
+                "regressed": new_ms > base_ms * threshold + epsilon_ms,
+            }
+        )
+    return diffs, [diff for diff in diffs if diff["regressed"]]
+
+
+def _print_compare(label, diffs, regressions, threshold, epsilon_ms):
+    print(
+        f"compare vs {label!r} "
+        f"(fail when new > {threshold}x base + {epsilon_ms}ms):"
+    )
+    for diff in diffs:
+        marker = "REGRESSED" if diff["regressed"] else "ok"
+        print(
+            f"  {diff['name']:24s} {diff['base_ms']:10.1f}ms -> "
+            f"{diff['new_ms']:10.1f}ms  ({diff['ratio']:.2f}x)  {marker}"
+        )
+    if regressions:
+        names = ", ".join(diff["name"] for diff in regressions)
+        print(f"FAIL: {len(regressions)} quer(ies) regressed: {names}")
+    else:
+        print("PASS: no wall-time regressions")
 
 
 def main(argv=None) -> int:
@@ -157,6 +220,26 @@ def main(argv=None) -> int:
         "--append", action="store_true",
         help="append one entry to an existing trajectory file",
     )
+    parser.add_argument(
+        "--compare", metavar="BASELINE_LABEL", default=None,
+        help="diff the new entry against the most recent prior entry with "
+        "this label and exit 1 on any wall-time regression beyond "
+        "--fail-threshold (exit 2 if the label is missing)",
+    )
+    parser.add_argument(
+        "--fail-threshold", type=float, default=1.5,
+        help="regression ratio for --compare (default: 1.5x)",
+    )
+    parser.add_argument(
+        "--fail-epsilon-ms", type=float, default=25.0,
+        help="absolute slack added to the threshold so microsecond-scale "
+        "queries don't trip the gate on timer noise (default: 25)",
+    )
+    parser.add_argument(
+        "--prom-out", metavar="FILE", default=None,
+        help="also record the suite into a workload Telemetry and write "
+        "the metrics registry as a Prometheus text snapshot",
+    )
     args = parser.parse_args(argv)
 
     print(
@@ -166,6 +249,12 @@ def main(argv=None) -> int:
     graph = random_transfer_network(args.accounts, args.transfers, seed=args.seed)
     print(f"graph ready: {graph.num_nodes} nodes, {graph.num_edges} edges")
 
+    telemetry = None
+    if args.prom_out:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+
     entry = {
         "label": args.label,
         "graph": {"nodes": graph.num_nodes, "edges": graph.num_edges},
@@ -174,7 +263,7 @@ def main(argv=None) -> int:
             "transfers": args.transfers,
             "seed": args.seed,
         },
-        "results": measure(graph),
+        "results": measure(graph, telemetry=telemetry),
     }
 
     out = Path(args.out)
@@ -186,6 +275,35 @@ def main(argv=None) -> int:
     validate_bench_document(document)
     out.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out} ({len(document['entries'])} entr{'y' if len(document['entries']) == 1 else 'ies'})")
+
+    if args.prom_out:
+        Path(args.prom_out).write_text(
+            telemetry.render_prometheus(), encoding="utf-8"
+        )
+        print(f"wrote {args.prom_out} (Prometheus text exposition)")
+
+    if args.compare is not None:
+        # Most recent prior entry with the baseline label (the new entry
+        # is the last one, so search everything before it).
+        baseline = next(
+            (
+                candidate
+                for candidate in reversed(document["entries"][:-1])
+                if candidate["label"] == args.compare
+            ),
+            None,
+        )
+        if baseline is None:
+            print(f"FAIL: no prior entry labelled {args.compare!r} to compare against")
+            return 2
+        diffs, regressions = compare_entries(
+            baseline, entry, args.fail_threshold, args.fail_epsilon_ms
+        )
+        _print_compare(
+            args.compare, diffs, regressions, args.fail_threshold, args.fail_epsilon_ms
+        )
+        if regressions:
+            return 1
     return 0
 
 

@@ -47,6 +47,14 @@ cardinalities; ``--trace-json FILE`` writes the run's span tree as
 ``repro.trace/v1`` JSON; ``--stats`` additionally reports wall time and
 a ``-- plan:`` line with the planner's anchor / join-order choices.
 The flags compose (``--analyze --stats --trace-json t.json``).
+
+Workload telemetry: ``--metrics-out FILE`` records the run into a
+metrics registry + query log and writes it out — Prometheus text
+exposition for ``.prom``/``.txt`` files, ``repro.metrics/v1`` JSON
+otherwise (``--slow-ms`` sets the slow-query threshold for full-trace
+capture).  ``repro metrics FILE`` summarizes such a JSON document:
+top-N query fingerprints by total / p99 latency or count, and (with
+``--slow``) the logged slow queries.
 """
 
 from __future__ import annotations
@@ -164,6 +172,7 @@ def build_sql_parser() -> argparse.ArgumentParser:
         help="disable the columnar frontier engine: run pattern searches "
         "on the object-graph matcher (the reference oracle)",
     )
+    _add_metrics_arguments(parser)
     return parser
 
 
@@ -212,6 +221,46 @@ def build_gql_parser() -> argparse.ArgumentParser:
         help="disable the columnar frontier engine: run pattern searches "
         "on the object-graph matcher (the reference oracle)",
     )
+    _add_metrics_arguments(parser)
+    return parser
+
+
+def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
+    """The workload-telemetry flags shared by ``gql`` and ``sql``."""
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="record the run into a metrics registry + query log and "
+        "write it to FILE: Prometheus text exposition for .prom/.txt, "
+        "repro.metrics/v1 JSON otherwise",
+    )
+    parser.add_argument(
+        "--slow-ms", type=float, metavar="MS", default=100.0,
+        help="slow-query threshold for --metrics-out: queries at or over "
+        "MS wall milliseconds keep their full trace in the query log "
+        "(default: 100)",
+    )
+
+
+def build_metrics_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro metrics",
+        description="Summarize a repro.metrics/v1 JSON document: top query "
+        "fingerprints by latency, and the logged slow queries.",
+    )
+    parser.add_argument("file", help="a repro.metrics/v1 JSON file")
+    parser.add_argument(
+        "--top", type=int, metavar="N", default=10,
+        help="show the top N fingerprints (default: 10)",
+    )
+    parser.add_argument(
+        "--by", choices=("total", "p99", "count"), default="total",
+        help="ranking key: total latency, p99 latency, or query count "
+        "(default: total)",
+    )
+    parser.add_argument(
+        "--slow", action="store_true",
+        help="also list the slow queries captured in the query log",
+    )
     return parser
 
 
@@ -222,6 +271,69 @@ def _write_trace_json(path: str, stats) -> None:
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(stats.trace.to_dict(stats=stats), handle, indent=2)
         handle.write("\n")
+
+
+def _write_metrics(path: str, telemetry) -> None:
+    """Dump a run's telemetry: Prometheus text or repro.metrics/v1 JSON."""
+    import json
+
+    if path.endswith((".prom", ".txt")):
+        payload = telemetry.render_prometheus()
+    else:
+        from repro.obs.schema import validate_document
+
+        document = telemetry.to_dict()
+        validate_document(document)
+        payload = json.dumps(document, indent=2)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        if not payload.endswith("\n"):
+            handle.write("\n")
+
+
+def metrics_main(argv: list[str]) -> int:
+    import json
+
+    from repro.obs.metrics import summarize_fingerprints
+    from repro.obs.schema import SchemaError, validate_metrics_document
+
+    args = build_metrics_parser().parse_args(argv)
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        validate_metrics_document(document)
+    except (OSError, json.JSONDecodeError, SchemaError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    rows = summarize_fingerprints(document, by=args.by)[: max(args.top, 0)]
+    print(f"top {len(rows)} fingerprint(s) by {args.by}")
+    header = (
+        f"{'fingerprint':<14} {'engine':<7} {'count':>5} "
+        f"{'total_ms':>10} {'mean_ms':>9} {'p50_ms':>9} {'p99_ms':>9}  query"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        query = row["query"] or ""
+        if len(query) > 60:
+            query = query[:57] + "..."
+        print(
+            f"{row['fingerprint']:<14} {row['engine']:<7} {row['count']:>5} "
+            f"{row['total_ms']:>10.2f} {row['mean_ms']:>9.2f} "
+            f"{row['p50_ms']:>9.2f} {row['p99_ms']:>9.2f}  {query}"
+        )
+    if args.slow:
+        slow = [
+            entry for entry in document.get("worklog", []) if entry["slow"]
+        ]
+        print(f"\n{len(slow)} slow quer(ies) in the log")
+        for entry in slow:
+            print(
+                f"  {entry['fingerprint']}  {entry['engine']:<5} "
+                f"{entry['wall_ms']:>9.2f} ms  rows={entry['rows']}  "
+                f"{entry['query']}"
+            )
+    return 0
 
 
 def _print_stats_lines(stats, elapsed_ms: float, graph=None) -> None:
@@ -277,16 +389,27 @@ def gql_main(argv: list[str]) -> int:
             from repro.gpml.matcher import MatcherConfig
 
             config = MatcherConfig(use_columnar=False)
+        telemetry = None
+        if args.metrics_out:
+            from repro.obs import Telemetry
+
+            telemetry = Telemetry(slow_ms=args.slow_ms)
         stats = None
-        if args.stats or args.trace_json or args.analyze:
+        if args.stats or args.trace_json or args.analyze or telemetry:
             stats = PipelineStats.traced(query=query, engine="gql")
         start = perf_counter()
         if args.analyze:
             from repro.obs.analyze import explain_analyze_gql
 
             print(explain_analyze_gql(graph, parsed, config=config, stats=stats))
+            if telemetry is not None:
+                telemetry.record_query(
+                    "gql", query, perf_counter() - start, stats
+                )
         else:
             records = execute_gql_iter(graph, parsed, config=config, stats=stats)
+            if telemetry is not None:
+                records = telemetry.instrument(records, "gql", query, stats)
             columns = [item.alias for item in parsed.items]
             header = " | ".join(columns)
             print(header)
@@ -301,6 +424,8 @@ def gql_main(argv: list[str]) -> int:
             _print_stats_lines(stats, elapsed_ms, graph)
         if args.trace_json:
             _write_trace_json(args.trace_json, stats)
+        if args.metrics_out:
+            _write_metrics(args.metrics_out, telemetry)
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -326,7 +451,12 @@ def sql_main(argv: list[str]) -> int:
         query = query.replace('"', "'")
     try:
         graph = _load_graph(args.graph)
-        database = Database()
+        telemetry = None
+        if args.metrics_out:
+            from repro.obs import Telemetry
+
+            telemetry = Telemetry(slow_ms=args.slow_ms)
+        database = Database(telemetry=telemetry)
         database.register_graph(graph.name, graph)
         for name, table in tabular_representation(graph).items():
             database.register_table(name, table)
@@ -339,11 +469,15 @@ def sql_main(argv: list[str]) -> int:
 
             config = MatcherConfig(use_columnar=False)
         stats = None
-        if args.stats or args.trace_json or args.analyze:
+        if args.stats or args.trace_json or args.analyze or telemetry:
             stats = PipelineStats.traced(query=query, engine="sql")
         start = perf_counter()
         if args.analyze:
             print(database.explain_analyze(query, config=config, stats=stats))
+            if telemetry is not None:
+                telemetry.record_query(
+                    "sql", query, perf_counter() - start, stats
+                )
         else:
             result = database.execute(query, config=config, stats=stats)
             if isinstance(result, Table):
@@ -355,6 +489,8 @@ def sql_main(argv: list[str]) -> int:
             _print_stats_lines(stats, elapsed_ms, graph)
         if args.trace_json:
             _write_trace_json(args.trace_json, stats)
+        if args.metrics_out:
+            _write_metrics(args.metrics_out, telemetry)
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -371,6 +507,8 @@ def main(argv: list[str] | None = None) -> int:
         return sql_main(argv[1:])
     if argv and argv[0] == "gql":
         return gql_main(argv[1:])
+    if argv and argv[0] == "metrics":
+        return metrics_main(argv[1:])
     args = build_parser().parse_args(argv)
     # shells prefer double quotes; GPML strings use single quotes
     query = args.query.replace('"', "'")

@@ -40,7 +40,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.worklog import Telemetry
 
 from repro.errors import GpmlEvaluationError
 from repro.gpml import ast
@@ -241,6 +244,7 @@ def match_iter(
     stats: Optional[PipelineStats] = None,
     span: Optional[Span] = None,
     count_rows: bool = True,
+    telemetry: Optional["Telemetry"] = None,
 ) -> Iterator[BindingRow]:
     """Evaluate a MATCH statement as a lazy stream of binding rows.
 
@@ -258,6 +262,12 @@ def match_iter(
     counter keeps meaning *delivered to the end consumer*.  ``span``
     attaches per-stage trace spans under the given parent; when omitted
     but ``stats.trace`` is set, spans hang off the trace root.
+
+    ``telemetry``, when given, records the query into the workload
+    registry and query log (:class:`~repro.obs.worklog.Telemetry`) once
+    the stream is drained or closed — creating (auto-traced) stats when
+    the caller passed none.  The default ``None`` leaves every code path
+    untouched.
     """
     if limit is not None and budget is not None:
         raise GpmlEvaluationError(
@@ -266,6 +276,8 @@ def match_iter(
         )
     prepared = query if isinstance(query, PreparedQuery) else prepare(query)
     config = config or MatcherConfig()
+    if telemetry is not None and stats is None:
+        stats = telemetry.stats_for(query=prepared.text, engine="gpml")
     own_budget = budget is None
     if own_budget:
         budget = RowBudget(limit)
@@ -290,9 +302,10 @@ def match_iter(
                     delivery.event("budget_satisfied", taken=budget.taken)
                 return
 
-    if delivery is None:
-        return rows()
-    return timed_rows(delivery, rows())
+    stream = rows() if delivery is None else timed_rows(delivery, rows())
+    if telemetry is None:
+        return stream
+    return telemetry.instrument(stream, "gpml", prepared.text, stats)
 
 
 def first(

@@ -9,17 +9,27 @@ them.  The graph is chosen by ``USE <name>`` in the query text, by the
 streams records as the search finds matches; :meth:`GqlSession.exists`
 and :meth:`GqlSession.first` push a one-row budget down into the NFA
 search, so probing a huge graph for *any* match costs a handful of steps.
+
+Pass a :class:`~repro.obs.worklog.Telemetry` to record every query the
+session runs into a workload metrics registry and bounded query log
+(fingerprint, wall time, rows, steps, plan anchors; slow queries keep
+their full trace).  The default ``telemetry=None`` costs one ``is None``
+check per execution and leaves the untraced paths byte-identical.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Any, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.worklog import Telemetry
 
 from repro.errors import GqlError
 from repro.gpml.matcher import MatcherConfig
 from repro.gpml.streaming import PipelineStats
 from repro.gql.query import (
+    GqlQuery,
     GqlResult,
     execute_gql,
     execute_gql_iter,
@@ -32,9 +42,14 @@ from repro.graph.model import PropertyGraph
 class GqlSession:
     """Executes GQL read queries against registered property graphs."""
 
-    def __init__(self, default_graph: PropertyGraph | None = None):
+    def __init__(
+        self,
+        default_graph: PropertyGraph | None = None,
+        telemetry: "Telemetry | None" = None,
+    ):
         self._graphs: dict[str, PropertyGraph] = {}
         self._default = default_graph
+        self.telemetry = telemetry
         if default_graph is not None:
             self._graphs[default_graph.name] = default_graph
 
@@ -59,6 +74,24 @@ class GqlSession:
             raise GqlError("no graph selected: USE <name>, pass graph=, or set a default")
         return self._default
 
+    def _iter_records(
+        self,
+        query_text: str,
+        parsed: GqlQuery,
+        graph: PropertyGraph | None,
+        config: MatcherConfig | None,
+        stats: PipelineStats | None,
+    ) -> Iterator[dict[str, Any]]:
+        """The one execution path: telemetry wraps it when configured."""
+        resolved = self._resolve(parsed, graph)
+        if self.telemetry is None:
+            return execute_gql_iter(resolved, parsed, config, stats)
+        if stats is None:
+            stats = self.telemetry.stats_for(query=query_text, engine="gql")
+        return self.telemetry.instrument(
+            execute_gql_iter(resolved, parsed, config, stats), "gql", query_text, stats
+        )
+
     def execute(
         self,
         query: str,
@@ -66,7 +99,10 @@ class GqlSession:
         config: MatcherConfig | None = None,
     ) -> GqlResult:
         parsed = parse_gql_query(query)
-        return execute_gql(self._resolve(parsed, graph), parsed, config)
+        if self.telemetry is None:
+            return execute_gql(self._resolve(parsed, graph), parsed, config)
+        records = list(self._iter_records(query, parsed, graph, config, None))
+        return GqlResult(columns=[item.alias for item in parsed.items], records=records)
 
     def execute_iter(
         self,
@@ -77,7 +113,7 @@ class GqlSession:
     ) -> Iterator[dict[str, Any]]:
         """Execute a read query as a lazy stream of projected records."""
         parsed = parse_gql_query(query)
-        return execute_gql_iter(self._resolve(parsed, graph), parsed, config, stats)
+        return self._iter_records(query, parsed, graph, config, stats)
 
     def first(
         self,
@@ -95,7 +131,7 @@ class GqlSession:
         limit = 1 if parsed.limit is None else min(parsed.limit, 1)
         limited = dataclasses.replace(parsed, limit=limit)
         return next(
-            iter(execute_gql_iter(self._resolve(parsed, graph), limited, config)),
+            iter(self._iter_records(query, limited, graph, config, None)),
             None,
         )
 

@@ -1,6 +1,6 @@
-"""Observability: query tracing, EXPLAIN ANALYZE, and metrics export.
+"""Observability: tracing, EXPLAIN ANALYZE, and workload telemetry.
 
-Quick start::
+Per-query (PR 5)::
 
     from repro.obs import tracing_stats
 
@@ -8,26 +8,65 @@ Quick start::
     records = list(execute_gql_iter(graph, query_text, stats=stats))
     stats.trace.to_dict(stats)      # repro.trace/v1 JSON document
 
+Per-workload::
+
+    from repro.obs import Telemetry
+
+    telemetry = Telemetry(slow_ms=50.0)
+    session = GqlSession(graph, telemetry=telemetry)
+    session.execute(query_text)
+    telemetry.render_prometheus()   # Prometheus text exposition
+    telemetry.to_dict()             # repro.metrics/v1 JSON document
+    telemetry.worklog.slow_queries()
+
 This package init deliberately imports only the standalone pieces
-(:mod:`repro.obs.trace`, :mod:`repro.obs.schema`) so the engine layers
-can import them without cycles.  The renderers in
-:mod:`repro.obs.analyze` import the GQL/SQL layers and must be imported
-explicitly (``from repro.obs import analyze``) or lazily.
+(:mod:`repro.obs.trace`, :mod:`repro.obs.metrics`,
+:mod:`repro.obs.fingerprint`, :mod:`repro.obs.worklog`,
+:mod:`repro.obs.schema`) so the engine layers can import them without
+cycles.  The renderers in :mod:`repro.obs.analyze` import the GQL/SQL
+layers and must be imported explicitly (``from repro.obs import
+analyze``) or lazily.
 """
 
-from repro.obs.schema import BENCH_SCHEMA, SchemaError, validate_bench_document, validate_trace_document
+from repro.obs.fingerprint import normalize_query, query_fingerprint
+from repro.obs.metrics import (
+    METRICS_SCHEMA,
+    MetricsRegistry,
+    log_buckets,
+    summarize_fingerprints,
+)
+from repro.obs.schema import (
+    BENCH_SCHEMA,
+    SchemaError,
+    validate_bench_document,
+    validate_document,
+    validate_metrics_document,
+    validate_trace_document,
+)
 from repro.obs.trace import TRACE_SCHEMA, QueryTrace, Span, counted_in, timed_rows
+from repro.obs.worklog import QueryRecord, Telemetry, WorkLog
 
 __all__ = [
     "BENCH_SCHEMA",
+    "METRICS_SCHEMA",
     "TRACE_SCHEMA",
+    "MetricsRegistry",
+    "QueryRecord",
     "QueryTrace",
     "SchemaError",
     "Span",
+    "Telemetry",
+    "WorkLog",
     "counted_in",
+    "log_buckets",
+    "normalize_query",
+    "query_fingerprint",
+    "summarize_fingerprints",
     "timed_rows",
     "tracing_stats",
     "validate_bench_document",
+    "validate_document",
+    "validate_metrics_document",
     "validate_trace_document",
 ]
 

@@ -1,4 +1,8 @@
-"""``python -m repro.obs FILE...`` — validate trace / bench JSON files.
+"""``python -m repro.obs FILE...`` — validate trace / metrics / bench JSON.
+
+Auto-detects the document family from its ``schema`` tag
+(``repro.trace/v1``, ``repro.metrics/v1`` or ``repro.bench/v1``) and
+validates accordingly.
 
 Thin wrapper over :func:`repro.obs.schema.main`; preferred over
 ``python -m repro.obs.schema`` (which works too, but triggers Python's

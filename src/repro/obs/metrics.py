@@ -1,0 +1,416 @@
+"""Thread-safe metrics registry: counters, gauges, log-bucketed histograms.
+
+PR 5's :class:`~repro.obs.trace.QueryTrace` answers "what did *this*
+query do"; this module answers "what has the *workload* been doing" —
+aggregate counters and latency/step distributions with label dimensions
+(``engine``, ``stage``, query ``fingerprint``) that survive across
+queries and export in two formats:
+
+* **Prometheus text exposition** (:meth:`MetricsRegistry.render_prometheus`)
+  — the de-facto scrape format, so a future query server can mount it
+  on ``/metrics`` unchanged;
+* **``repro.metrics/v1`` JSON** (:meth:`MetricsRegistry.to_dict`) —
+  schema-validated by :mod:`repro.obs.schema`, consumed by the
+  ``repro metrics`` CLI summary.
+
+Design notes:
+
+* One :class:`threading.Lock` per registry guards every update and
+  snapshot — updates are a dict lookup plus a float add, so a single
+  lock outperforms per-family locks at this scale and makes snapshots
+  trivially consistent.  The thread-safety test hammers one registry
+  from concurrent workers and asserts exact totals.
+* Histograms are **log-bucketed**: bucket upper bounds grow
+  geometrically (:func:`log_buckets`), so one histogram covers
+  sub-millisecond probes and multi-second scans with bounded error.
+  Quantiles are estimated as the upper bound of the bucket where the
+  cumulative count crosses the rank — the standard Prometheus
+  ``histogram_quantile`` convention.
+* Everything is standard-library only and imports nothing from the
+  engine, so any layer may import it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+#: schema tag for the exported metrics document.
+METRICS_SCHEMA = "repro.metrics/v1"
+
+COUNTER = "counter"
+GAUGE = "gauge"
+HISTOGRAM = "histogram"
+
+
+def log_buckets(start: float, factor: float, count: int) -> Tuple[float, ...]:
+    """``count`` geometrically growing bucket bounds from ``start``.
+
+    ``log_buckets(0.05, 2, 4)`` → ``(0.05, 0.1, 0.2, 0.4)``.  An
+    implicit +Inf bucket always follows the last bound.
+    """
+    if start <= 0 or factor <= 1 or count < 1:
+        raise ValueError("log_buckets needs start > 0, factor > 1, count >= 1")
+    bounds = []
+    value = float(start)
+    for _ in range(count):
+        bounds.append(value)
+        value *= factor
+    return tuple(bounds)
+
+
+#: default latency buckets: 0.05 ms … ~26 s in 20 doubling steps.
+LATENCY_BUCKETS_MS = log_buckets(0.05, 2.0, 20)
+#: default matcher-step buckets: 1 … ~4M edge expansions.
+STEP_BUCKETS = log_buckets(1.0, 4.0, 12)
+
+
+def _check_labels(
+    labelnames: Tuple[str, ...], labels: Mapping[str, Any], metric: str
+) -> Tuple[str, ...]:
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"metric {metric!r} takes labels {sorted(labelnames)}, "
+            f"got {sorted(labels)}"
+        )
+    # Label values are always strings (None → "unknown", as Prometheus
+    # has no null label value).
+    return tuple(
+        "unknown" if labels[name] is None else str(labels[name])
+        for name in labelnames
+    )
+
+
+class _Family:
+    """Base: one named metric with a fixed label schema."""
+
+    type: str = ""
+
+    def __init__(
+        self, name: str, help: str, labelnames: Sequence[str], lock: threading.Lock
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        self._values: Dict[Tuple[str, ...], Any] = {}
+
+    def _key(self, labels: Mapping[str, Any]) -> Tuple[str, ...]:
+        return _check_labels(self.labelnames, labels, self.name)
+
+    def labelsets(self) -> List[Dict[str, str]]:
+        with self._lock:
+            keys = list(self._values)
+        return [dict(zip(self.labelnames, key)) for key in keys]
+
+
+class Counter(_Family):
+    """A monotonically increasing total."""
+
+    type = COUNTER
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+
+class Gauge(_Family):
+    """A value that can go up and down (queue depth, cache size)."""
+
+    type = GAUGE
+
+    def set(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = value
+
+    def inc(self, amount: float = 1, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def dec(self, amount: float = 1, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0)
+
+
+class HistogramValue:
+    """Observations of one labelset: per-bucket counts, sum, count."""
+
+    __slots__ = ("bounds", "bucket_counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...]):
+        self.bounds = bounds
+        #: one slot per finite bound plus the +Inf overflow slot.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[index] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated q-quantile: the bucket bound where the rank falls.
+
+        Observations in the +Inf bucket report the largest finite bound
+        (the estimate saturates, as Prometheus' does).  Returns 0.0 for
+        an empty histogram.
+        """
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            cumulative += self.bucket_counts[index]
+            if cumulative >= rank:
+                return bound
+        return self.bounds[-1]
+
+
+class Histogram(_Family):
+    """Log-bucketed distribution with per-labelset sum/count/quantiles."""
+
+    type = HISTOGRAM
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labelnames: Sequence[str],
+        lock: threading.Lock,
+        buckets: Optional[Iterable[float]] = None,
+    ) -> None:
+        super().__init__(name, help, labelnames, lock)
+        bounds = tuple(buckets) if buckets is not None else LATENCY_BUCKETS_MS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name!r} buckets must strictly increase")
+        self.bounds = bounds
+
+    def observe(self, value: float, **labels: Any) -> None:
+        key = self._key(labels)
+        with self._lock:
+            sample = self._values.get(key)
+            if sample is None:
+                sample = self._values[key] = HistogramValue(self.bounds)
+            sample.observe(value)
+
+    def sample(self, **labels: Any) -> Optional[HistogramValue]:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key)
+
+
+class MetricsRegistry:
+    """A named collection of metric families sharing one lock.
+
+    Families are created once (:meth:`counter` / :meth:`gauge` /
+    :meth:`histogram`, re-registration with the same schema returns the
+    existing family) and updated from any thread.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._families: Dict[str, _Family] = {}
+
+    def _register(self, family: _Family) -> _Family:
+        with self._lock:
+            existing = self._families.get(family.name)
+            if existing is not None:
+                if (
+                    type(existing) is not type(family)
+                    or existing.labelnames != family.labelnames
+                ):
+                    raise ValueError(
+                        f"metric {family.name!r} already registered with a "
+                        f"different type or label schema"
+                    )
+                return existing
+            self._families[family.name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Counter:
+        return self._register(Counter(name, help, labelnames, self._lock))
+
+    def gauge(self, name: str, help: str = "", labelnames: Sequence[str] = ()) -> Gauge:
+        return self._register(Gauge(name, help, labelnames, self._lock))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Optional[Iterable[float]] = None,
+    ) -> Histogram:
+        return self._register(Histogram(name, help, labelnames, self._lock, buckets))
+
+    def families(self) -> List[_Family]:
+        with self._lock:
+            return sorted(self._families.values(), key=lambda f: f.name)
+
+    # -- export ---------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Export every family as a ``repro.metrics/v1`` document."""
+        metrics: List[Dict[str, Any]] = []
+        for family in self.families():
+            entry: Dict[str, Any] = {
+                "name": family.name,
+                "type": family.type,
+                "help": family.help,
+                "labelnames": list(family.labelnames),
+            }
+            with self._lock:
+                items = sorted(family._values.items())
+            if family.type == HISTOGRAM:
+                entry["buckets"] = list(family.bounds)  # type: ignore[attr-defined]
+                entry["samples"] = [
+                    {
+                        "labels": dict(zip(family.labelnames, key)),
+                        "count": value.count,
+                        "sum": round(value.sum, 6),
+                        "bucket_counts": list(value.bucket_counts),
+                    }
+                    for key, value in items
+                ]
+            else:
+                entry["samples"] = [
+                    {"labels": dict(zip(family.labelnames, key)), "value": value}
+                    for key, value in items
+                ]
+            metrics.append(entry)
+        return {"schema": METRICS_SCHEMA, "metrics": metrics}
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format (0.0.4)."""
+        lines: List[str] = []
+        for family in self.families():
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {family.name} {family.type}")
+            with self._lock:
+                items = sorted(family._values.items())
+            for key, value in items:
+                labels = dict(zip(family.labelnames, key))
+                if family.type == HISTOGRAM:
+                    cumulative = 0
+                    for bound, count in zip(value.bounds, value.bucket_counts):
+                        cumulative += count
+                        bucket_labels = dict(labels, le=_format_value(bound))
+                        lines.append(
+                            f"{family.name}_bucket{_render_labels(bucket_labels)} "
+                            f"{cumulative}"
+                        )
+                    cumulative += value.bucket_counts[-1]
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_render_labels(dict(labels, le='+Inf'))} {cumulative}"
+                    )
+                    lines.append(
+                        f"{family.name}_sum{_render_labels(labels)} "
+                        f"{_format_value(value.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_render_labels(labels)} {value.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_render_labels(labels)} {_format_value(value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    # Integral values render without a trailing .0 (counts stay counts).
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+# --------------------------------------------------------------------------
+# Summaries over the exported document (used by `repro metrics`)
+
+
+def summarize_fingerprints(
+    document: Mapping[str, Any],
+    by: str = "total",
+    latency_metric: str = "repro_query_latency_ms",
+) -> List[Dict[str, Any]]:
+    """Per-fingerprint latency summary of a ``repro.metrics/v1`` document.
+
+    Reads the query-latency histogram family and returns one row per
+    (engine, fingerprint) labelset — ``count``, ``total_ms``, ``mean_ms``,
+    ``p50_ms``, ``p99_ms``, plus an example normalized ``query`` resolved
+    from the document's worklog when present — sorted descending by
+    ``by`` (``total`` | ``p99`` | ``count``).
+    """
+    if by not in ("total", "p99", "count"):
+        raise ValueError(f"sort key must be total, p99 or count, got {by!r}")
+    family = None
+    for metric in document.get("metrics", []):
+        if metric.get("name") == latency_metric and metric.get("type") == HISTOGRAM:
+            family = metric
+            break
+    if family is None:
+        return []
+    examples: Dict[str, str] = {}
+    for entry in document.get("worklog", []):
+        examples.setdefault(entry["fingerprint"], entry["query"])
+    bounds = tuple(family["buckets"])
+    rows: List[Dict[str, Any]] = []
+    for sample in family["samples"]:
+        value = HistogramValue(bounds)
+        value.bucket_counts = list(sample["bucket_counts"])
+        value.sum = sample["sum"]
+        value.count = sample["count"]
+        labels = sample["labels"]
+        fingerprint = labels.get("fingerprint", "unknown")
+        rows.append(
+            {
+                "fingerprint": fingerprint,
+                "engine": labels.get("engine", "unknown"),
+                "count": value.count,
+                "total_ms": round(value.sum, 3),
+                "mean_ms": round(value.sum / value.count, 3) if value.count else 0.0,
+                "p50_ms": value.quantile(0.50),
+                "p99_ms": value.quantile(0.99),
+                "query": examples.get(fingerprint, ""),
+            }
+        )
+    sort_key = {"total": "total_ms", "p99": "p99_ms", "count": "count"}[by]
+    rows.sort(key=lambda row: (-row[sort_key], row["fingerprint"]))
+    return rows

@@ -1,17 +1,23 @@
 """Validators for the machine-readable observability documents.
 
-Two document families share this module:
+Three document families share this module:
 
 * ``repro.trace/v1`` — a :class:`~repro.obs.trace.QueryTrace` export
   (``trace.to_dict()`` / ``--trace-json FILE``).
+* ``repro.metrics/v1`` — a workload-telemetry export
+  (:meth:`~repro.obs.metrics.MetricsRegistry.to_dict` /
+  :meth:`~repro.obs.worklog.Telemetry.to_dict` / ``--metrics-out FILE``),
+  optionally carrying the worklog (whose slow queries embed full
+  ``repro.trace/v1`` sub-documents, validated recursively).
 * ``repro.bench/v1`` — the perf-trajectory file
   (``BENCH_observability.json``) written by ``benchmarks/reporting.py``
   and appended to by later perf PRs.
 
+:func:`validate_document` dispatches on the ``schema`` tag, so
+``python -m repro.obs FILE...`` auto-detects which family a file is.
 Validation is hand-rolled (no jsonschema dependency): each checker
 raises :class:`SchemaError` with a JSON-pointer-ish path on the first
-violation.  ``python -m repro.obs.schema FILE...`` validates files from
-the command line (used by the CI ``bench-report`` job).
+violation.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.metrics import METRICS_SCHEMA
 from repro.obs.trace import TRACE_SCHEMA
 
 #: schema tag for the benchmark trajectory document.
@@ -126,6 +133,139 @@ def validate_trace_document(document: Any) -> None:
 
 
 # --------------------------------------------------------------------------
+# repro.metrics/v1
+
+
+_METRIC_TYPES = {"counter", "gauge", "histogram"}
+
+_WORKLOG_FIELDS = {
+    "fingerprint",
+    "query",
+    "engine",
+    "wall_ms",
+    "rows",
+    "steps",
+    "matches",
+    "plan",
+    "slow",
+    "trace",
+}
+
+
+def _validate_labels(
+    labels: Any, labelnames: List[str], path: str
+) -> None:
+    _require(isinstance(labels, dict), path, "labels must be an object")
+    _require(
+        set(labels) == set(labelnames),
+        path,
+        f"expected labels {sorted(labelnames)}, got {sorted(labels)}",
+    )
+    for name, value in labels.items():
+        _str(value, f"{path}.{name}")
+
+
+def validate_metric(metric: Any, path: str) -> None:
+    """Validate one metric family of a metrics document."""
+    _require(isinstance(metric, dict), path, "metric must be an object")
+    _str(metric.get("name"), f"{path}.name")
+    _str(metric.get("help"), f"{path}.help")
+    _require(
+        metric.get("type") in _METRIC_TYPES,
+        f"{path}.type",
+        f"expected one of {sorted(_METRIC_TYPES)}, got {metric.get('type')!r}",
+    )
+    labelnames = metric.get("labelnames")
+    _require(
+        isinstance(labelnames, list) and all(isinstance(n, str) for n in labelnames),
+        f"{path}.labelnames",
+        "must be a list of strings",
+    )
+    samples = metric.get("samples")
+    _require(isinstance(samples, list), f"{path}.samples", "must be a list")
+    if metric["type"] == "histogram":
+        buckets = metric.get("buckets")
+        _require(
+            isinstance(buckets, list) and buckets,
+            f"{path}.buckets",
+            "histogram must declare a non-empty bucket-bound list",
+        )
+        for bindex, bound in enumerate(buckets):
+            _number(bound, f"{path}.buckets[{bindex}]")
+        _require(
+            buckets == sorted(buckets) and len(set(buckets)) == len(buckets),
+            f"{path}.buckets",
+            "bucket bounds must strictly increase",
+        )
+    for sindex, sample in enumerate(samples):
+        sample_path = f"{path}.samples[{sindex}]"
+        _require(isinstance(sample, dict), sample_path, "sample must be an object")
+        _validate_labels(sample.get("labels"), labelnames, f"{sample_path}.labels")
+        if metric["type"] == "histogram":
+            _int(sample.get("count"), f"{sample_path}.count")
+            _number(sample.get("sum"), f"{sample_path}.sum")
+            counts = sample.get("bucket_counts")
+            _require(
+                isinstance(counts, list) and len(counts) == len(metric["buckets"]) + 1,
+                f"{sample_path}.bucket_counts",
+                "must be a list with one slot per bound plus the +Inf slot",
+            )
+            for cindex, count in enumerate(counts):
+                _int(count, f"{sample_path}.bucket_counts[{cindex}]")
+            _require(
+                sum(counts) == sample["count"],
+                f"{sample_path}.bucket_counts",
+                f"bucket counts sum to {sum(counts)}, count says {sample['count']}",
+            )
+        else:
+            _number(sample.get("value"), f"{sample_path}.value")
+
+
+def validate_worklog_entry(entry: Any, path: str) -> None:
+    """Validate one query-log record of a metrics document."""
+    _require(isinstance(entry, dict), path, "worklog entry must be an object")
+    missing = _WORKLOG_FIELDS - entry.keys()
+    _require(not missing, path, f"entry is missing fields {sorted(missing)}")
+    for name in ("fingerprint", "query", "engine"):
+        _str(entry[name], f"{path}.{name}")
+    _number(entry["wall_ms"], f"{path}.wall_ms")
+    for counter in ("rows", "steps", "matches"):
+        _int(entry[counter], f"{path}.{counter}")
+    _str(entry["plan"], f"{path}.plan", optional=True)
+    _require(isinstance(entry["slow"], bool), f"{path}.slow", "must be a boolean")
+    if entry["trace"] is not None:
+        try:
+            validate_trace_document(entry["trace"])
+        except SchemaError as exc:
+            raise SchemaError(f"{path}.trace: embedded trace invalid — {exc}")
+
+
+def validate_metrics_document(document: Any) -> None:
+    """Validate a ``repro.metrics/v1`` document (registry/telemetry export)."""
+    _require(isinstance(document, dict), "$", "document must be an object")
+    _require(
+        document.get("schema") == METRICS_SCHEMA,
+        "$.schema",
+        f"expected {METRICS_SCHEMA!r}, got {document.get('schema')!r}",
+    )
+    metrics = document.get("metrics")
+    _require(isinstance(metrics, list), "$.metrics", "must be a list")
+    seen = set()
+    for index, metric in enumerate(metrics):
+        validate_metric(metric, f"$.metrics[{index}]")
+        name = metric["name"]
+        _require(
+            name not in seen, f"$.metrics[{index}].name", f"duplicate metric {name!r}"
+        )
+        seen.add(name)
+    worklog = document.get("worklog")
+    if worklog is not None:
+        _require(isinstance(worklog, list), "$.worklog", "must be a list")
+        for index, entry in enumerate(worklog):
+            validate_worklog_entry(entry, f"$.worklog[{index}]")
+
+
+# --------------------------------------------------------------------------
 # repro.bench/v1
 
 
@@ -173,6 +313,8 @@ def validate_document(document: Any) -> str:
     tag = document.get("schema") if isinstance(document, dict) else None
     if tag == TRACE_SCHEMA:
         validate_trace_document(document)
+    elif tag == METRICS_SCHEMA:
+        validate_metrics_document(document)
     elif tag == BENCH_SCHEMA:
         validate_bench_document(document)
     else:
@@ -186,7 +328,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.schema",
-        description="Validate repro trace/bench JSON documents.",
+        description="Validate repro trace/metrics/bench JSON documents.",
     )
     parser.add_argument("files", nargs="+", help="JSON files to validate")
     args = parser.parse_args(argv)

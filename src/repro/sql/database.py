@@ -7,12 +7,23 @@
 directly) and executes SELECT statements through the relational operator
 pipeline of :mod:`repro.sql.planner`, returning ordinary
 :class:`~repro.pgq.table.Table` results.
+
+Pass a :class:`~repro.obs.worklog.Telemetry` to record every SELECT the
+database executes into a workload metrics registry and bounded query log
+(fingerprint, wall time, rows, steps, plan anchors; slow queries keep
+their full trace).  DDL (``CREATE PROPERTY GRAPH``) and EXPLAIN are not
+recorded — they are catalog/diagnostic operations, not workload.  The
+default ``telemetry=None`` costs one ``is None`` check per execution and
+leaves the untraced paths byte-identical.
 """
 
 from __future__ import annotations
 
 from time import perf_counter
-from typing import Any, Iterator, Optional
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.worklog import Telemetry
 
 from repro.errors import SqlError
 from repro.gpml.matcher import MatcherConfig
@@ -29,8 +40,13 @@ from repro.sql.planner import PlannerContext, plan_statement
 class Database:
     """Executes SQL (with GRAPH_TABLE in FROM) against a catalog."""
 
-    def __init__(self, catalog: Optional[Catalog] = None):
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        telemetry: "Optional[Telemetry]" = None,
+    ):
         self.catalog = catalog if catalog is not None else Catalog()
+        self.telemetry = telemetry
 
     # -- catalog ergonomics ---------------------------------------------
     def register_table(self, name: str, table: Table) -> None:
@@ -85,9 +101,14 @@ class Database:
             else:
                 lines = self._plan_lines(statement.inner, config, pushdown)
             return Table(["plan"], [(line,) for line in lines], name="explain")
+        if self.telemetry is not None and stats is None:
+            stats = self.telemetry.stats_for(query=sql, engine="sql")
         plan = self._plan(statement, config, stats, pushdown)
         names = [column.name for column in plan.columns]
-        return Table(names, self._delivered(plan.run(), stats), name="result")
+        rows = self._delivered(plan.run(), stats)
+        if self.telemetry is not None:
+            rows = self.telemetry.instrument(rows, "sql", sql, stats)
+        return Table(names, rows, name="result")
 
     def execute_iter(
         self,
@@ -100,11 +121,14 @@ class Database:
         statement = parse_sql(sql)
         if not isinstance(statement, ast.SelectStatement):
             raise SqlError("execute_iter only streams SELECT statements")
+        if self.telemetry is not None and stats is None:
+            stats = self.telemetry.stats_for(query=sql, engine="sql")
         plan = self._plan(statement, config, stats, pushdown)
         names = [column.name for column in plan.columns]
-        return (
-            dict(zip(names, row)) for row in self._delivered(plan.run(), stats)
-        )
+        rows = self._delivered(plan.run(), stats)
+        if self.telemetry is not None:
+            rows = self.telemetry.instrument(rows, "sql", sql, stats)
+        return (dict(zip(names, row)) for row in rows)
 
     def explain(
         self,

@@ -1,0 +1,134 @@
+"""The perf-regression gate: reporting.py --compare semantics.
+
+Verifies the gate against the *committed* trajectory
+(``BENCH_observability.json``): the real columnar-vs-baseline entry pair
+must pass (columnar got faster everywhere), and an injected 10x slowdown
+must fail.  Timing-free — the gate logic is pure arithmetic over
+recorded entries.
+"""
+
+import copy
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent.parent
+_BENCHMARKS = str(REPO / "benchmarks")
+if _BENCHMARKS not in sys.path:
+    sys.path.insert(0, _BENCHMARKS)
+
+import reporting  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def trajectory():
+    return json.loads((REPO / "BENCH_observability.json").read_text(encoding="utf-8"))
+
+
+def _entry(trajectory, label):
+    return next(e for e in trajectory["entries"] if e["label"] == label)
+
+
+def test_committed_trajectory_passes_the_gate(trajectory):
+    baseline = _entry(trajectory, "baseline")
+    columnar = _entry(trajectory, "columnar")
+    diffs, regressions = reporting.compare_entries(baseline, columnar)
+    assert len(diffs) == len(columnar["results"])
+    assert regressions == []
+
+
+def test_injected_regression_fails_the_gate(trajectory):
+    baseline = _entry(trajectory, "baseline")
+    slowed = copy.deepcopy(_entry(trajectory, "columnar"))
+    victim = max(slowed["results"], key=lambda r: r["wall_ms"])
+    victim["wall_ms"] = victim["wall_ms"] * 10
+    diffs, regressions = reporting.compare_entries(baseline, slowed)
+    assert [d["name"] for d in regressions] == [victim["name"]]
+    assert regressions[0]["regressed"]
+    assert regressions[0]["ratio"] > 1.5
+
+
+def test_epsilon_shields_fast_queries():
+    baseline = {"results": [{"name": "q", "wall_ms": 0.4}]}
+    # 5x slower but still only 2ms: inside the absolute slack.
+    entry = {"results": [{"name": "q", "wall_ms": 2.0}]}
+    _, regressions = reporting.compare_entries(
+        baseline, entry, threshold=1.5, epsilon_ms=25.0
+    )
+    assert regressions == []
+    # With the slack removed the same ratio trips the gate.
+    _, regressions = reporting.compare_entries(
+        baseline, entry, threshold=1.5, epsilon_ms=0.0
+    )
+    assert [d["name"] for d in regressions] == ["q"]
+
+
+def test_unknown_queries_are_skipped():
+    baseline = {"results": [{"name": "old", "wall_ms": 1.0}]}
+    entry = {"results": [{"name": "new", "wall_ms": 100.0}]}
+    diffs, regressions = reporting.compare_entries(baseline, entry)
+    assert diffs == [] and regressions == []
+
+
+def test_main_gate_exit_codes(tmp_path):
+    """End-to-end at tiny scale: append + compare passes, injected fails."""
+    out = tmp_path / "bench.json"
+    scale = ["--accounts", "300", "--transfers", "600"]
+    assert reporting.main(scale + ["--label", "base", "--out", str(out)]) == 0
+    assert (
+        reporting.main(
+            scale
+            + [
+                "--label", "check", "--out", str(out), "--append",
+                "--compare", "base", "--fail-threshold", "1000.0",
+            ]
+        )
+        == 0
+    )
+    # Missing baseline label → exit 2.
+    assert (
+        reporting.main(
+            scale
+            + ["--label", "x", "--out", str(out), "--append", "--compare", "nope"]
+        )
+        == 2
+    )
+    # Inject a regression into the stored baseline, then compare with a
+    # tight threshold and no slack: the real run must read as 1000x+.
+    document = json.loads(out.read_text(encoding="utf-8"))
+    base_entry = next(e for e in document["entries"] if e["label"] == "base")
+    for result in base_entry["results"]:
+        result["wall_ms"] = result["wall_ms"] / 10_000.0
+    out.write_text(json.dumps(document), encoding="utf-8")
+    assert (
+        reporting.main(
+            scale
+            + [
+                "--label", "slow", "--out", str(out), "--append",
+                "--compare", "base", "--fail-threshold", "1.5",
+                "--fail-epsilon-ms", "0.0",
+            ]
+        )
+        == 1
+    )
+
+
+def test_main_prom_out_writes_snapshot(tmp_path):
+    out = tmp_path / "bench.json"
+    prom = tmp_path / "bench.prom"
+    assert (
+        reporting.main(
+            [
+                "--accounts", "300", "--transfers", "600",
+                "--out", str(out), "--prom-out", str(prom),
+            ]
+        )
+        == 0
+    )
+    text = prom.read_text(encoding="utf-8")
+    assert "# TYPE repro_queries_total counter" in text
+    # One labelset per suite query (six distinct fingerprints).
+    lines = [l for l in text.splitlines() if l.startswith("repro_queries_total{")]
+    assert len(lines) == 6

@@ -1,0 +1,242 @@
+"""The metrics registry: semantics, exports, and thread safety."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_MS,
+    MetricsRegistry,
+    log_buckets,
+    summarize_fingerprints,
+)
+from repro.obs.schema import SchemaError, validate_document, validate_metrics_document
+
+
+# -- families ---------------------------------------------------------------
+
+
+def test_counter_accumulates_per_labelset():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help", ("engine",))
+    counter.inc(engine="gql")
+    counter.inc(2, engine="gql")
+    counter.inc(engine="sql")
+    assert counter.value(engine="gql") == 3
+    assert counter.value(engine="sql") == 1
+    assert counter.value(engine="gpml") == 0
+
+
+def test_counter_rejects_decrease_and_bad_labels():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help", ("engine",))
+    with pytest.raises(ValueError):
+        counter.inc(-1, engine="gql")
+    with pytest.raises(ValueError):
+        counter.inc(mode="gql")
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    gauge = registry.gauge("g")
+    gauge.set(5)
+    gauge.inc(2)
+    gauge.dec()
+    assert gauge.value() == 6
+
+
+def test_none_label_value_becomes_unknown():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help", ("fingerprint",))
+    counter.inc(fingerprint=None)
+    assert counter.value(fingerprint="unknown") == 1
+
+
+def test_reregistration_returns_same_family_or_raises():
+    registry = MetricsRegistry()
+    first = registry.counter("c_total", "help", ("engine",))
+    assert registry.counter("c_total", "help", ("engine",)) is first
+    with pytest.raises(ValueError):
+        registry.counter("c_total", "help", ("other",))
+    with pytest.raises(ValueError):
+        registry.gauge("c_total")
+
+
+def test_log_buckets_geometric():
+    assert log_buckets(0.05, 2, 4) == (0.05, 0.1, 0.2, 0.4)
+    with pytest.raises(ValueError):
+        log_buckets(0, 2, 4)
+    with pytest.raises(ValueError):
+        log_buckets(1, 1, 4)
+
+
+def test_histogram_buckets_and_quantiles():
+    registry = MetricsRegistry()
+    histogram = registry.histogram("h_ms", "help", ("engine",), buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 0.7, 5.0, 50.0, 5000.0):
+        histogram.observe(value, engine="gql")
+    sample = histogram.sample(engine="gql")
+    assert sample.count == 5
+    assert sample.sum == pytest.approx(5056.2)
+    assert sample.bucket_counts == [2, 1, 1, 1]  # incl. the +Inf slot
+    # rank 2.5 of 5 falls in the second bucket (cumulative 2 then 3).
+    assert sample.quantile(0.5) == 10.0
+    assert sample.quantile(0.25) == 1.0
+    # +Inf observations saturate to the largest finite bound.
+    assert sample.quantile(1.0) == 100.0
+    assert histogram.sample(engine="sql") is None
+
+
+def test_histogram_rejects_unsorted_buckets():
+    registry = MetricsRegistry()
+    with pytest.raises(ValueError):
+        registry.histogram("h", buckets=(10.0, 1.0))
+
+
+# -- exports ----------------------------------------------------------------
+
+
+def _populated_registry():
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_queries_total", "Queries.", ("engine", "fingerprint"))
+    counter.inc(engine="gql", fingerprint="abc")
+    counter.inc(3, engine="sql", fingerprint="def")
+    histogram = registry.histogram(
+        "repro_query_latency_ms", "Latency.", ("engine", "fingerprint"),
+        buckets=(1.0, 10.0),
+    )
+    histogram.observe(0.5, engine="gql", fingerprint="abc")
+    histogram.observe(500.0, engine="gql", fingerprint="abc")
+    registry.gauge("repro_worklog_size", "Size.").set(2)
+    return registry
+
+
+def test_to_dict_round_trips_schema_validation():
+    document = _populated_registry().to_dict()
+    # JSON round trip: the document must be plain-JSON serializable.
+    document = json.loads(json.dumps(document))
+    validate_metrics_document(document)
+    assert validate_document(document) == "repro.metrics/v1"
+    by_name = {metric["name"]: metric for metric in document["metrics"]}
+    histogram = by_name["repro_query_latency_ms"]
+    assert histogram["buckets"] == [1.0, 10.0]
+    (sample,) = histogram["samples"]
+    assert sample["bucket_counts"] == [1, 0, 1]
+    assert sample["count"] == 2
+
+
+def test_schema_rejects_corrupt_histogram():
+    document = _populated_registry().to_dict()
+    document["metrics"][0]["samples"][0]["value"] = "not-a-number"
+    with pytest.raises(SchemaError):
+        validate_metrics_document(document)
+
+
+def test_schema_rejects_bucket_count_mismatch():
+    document = _populated_registry().to_dict()
+    by_name = {metric["name"]: metric for metric in document["metrics"]}
+    by_name["repro_query_latency_ms"]["samples"][0]["bucket_counts"] = [1]
+    with pytest.raises(SchemaError):
+        validate_metrics_document(document)
+
+
+def test_prometheus_rendering():
+    text = _populated_registry().render_prometheus()
+    lines = text.splitlines()
+    assert "# TYPE repro_queries_total counter" in lines
+    assert 'repro_queries_total{engine="sql",fingerprint="def"} 3' in lines
+    # Cumulative buckets with a final +Inf equal to _count.
+    assert (
+        'repro_query_latency_ms_bucket{engine="gql",fingerprint="abc",le="1"} 1'
+        in lines
+    )
+    assert (
+        'repro_query_latency_ms_bucket{engine="gql",fingerprint="abc",le="+Inf"} 2'
+        in lines
+    )
+    assert 'repro_query_latency_ms_count{engine="gql",fingerprint="abc"} 2' in lines
+    assert "repro_worklog_size 2" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_escapes_label_values():
+    registry = MetricsRegistry()
+    registry.counter("c_total", "help", ("q",)).inc(q='say "hi"\nplease')
+    text = registry.render_prometheus()
+    assert r'c_total{q="say \"hi\"\nplease"} 1' in text
+
+
+# -- fingerprint summaries --------------------------------------------------
+
+
+def test_summarize_fingerprints_orders_and_resolves_examples():
+    registry = MetricsRegistry()
+    histogram = registry.histogram(
+        "repro_query_latency_ms", "Latency.", ("engine", "fingerprint"),
+        buckets=list(LATENCY_BUCKETS_MS),
+    )
+    for _ in range(3):
+        histogram.observe(2.0, engine="gql", fingerprint="aaa")
+    histogram.observe(900.0, engine="sql", fingerprint="bbb")
+    document = registry.to_dict()
+    document["worklog"] = [
+        {"fingerprint": "bbb", "query": "MATCH (b)"},
+        {"fingerprint": "aaa", "query": "MATCH (a)"},
+    ]
+
+    by_total = summarize_fingerprints(document, by="total")
+    assert [row["fingerprint"] for row in by_total] == ["bbb", "aaa"]
+    assert by_total[0]["query"] == "MATCH (b)"
+    assert by_total[1]["count"] == 3
+
+    by_count = summarize_fingerprints(document, by="count")
+    assert [row["fingerprint"] for row in by_count] == ["aaa", "bbb"]
+
+    with pytest.raises(ValueError):
+        summarize_fingerprints(document, by="nope")
+
+
+def test_summarize_fingerprints_empty_document():
+    assert summarize_fingerprints({"schema": "repro.metrics/v1", "metrics": []}) == []
+
+
+# -- thread safety ----------------------------------------------------------
+
+
+def test_registry_is_thread_safe_under_hammering():
+    registry = MetricsRegistry()
+    counter = registry.counter("c_total", "help", ("worker",))
+    shared = registry.counter("s_total", "help")
+    histogram = registry.histogram("h_ms", "help", ("worker",), buckets=(1.0, 10.0, 100.0))
+    workers, iterations = 8, 2000
+    barrier = threading.Barrier(workers)
+    errors = []
+
+    def hammer(worker_id):
+        try:
+            barrier.wait()
+            label = f"w{worker_id % 2}"  # contend on shared labelsets
+            for i in range(iterations):
+                counter.inc(worker=label)
+                shared.inc()
+                histogram.observe(float(i % 200), worker=label)
+        except Exception as exc:  # pragma: no cover - only on failure
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer, args=(n,)) for n in range(workers)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not errors
+    assert shared.value() == workers * iterations
+    assert counter.value(worker="w0") + counter.value(worker="w1") == workers * iterations
+    total_observations = sum(
+        histogram.sample(worker=label).count for label in ("w0", "w1")
+    )
+    assert total_observations == workers * iterations
+    for label in ("w0", "w1"):
+        sample = histogram.sample(worker=label)
+        assert sum(sample.bucket_counts) == sample.count

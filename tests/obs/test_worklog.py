@@ -1,0 +1,234 @@
+"""Workload telemetry: the query log and its threading through the hosts."""
+
+import pytest
+
+from repro.gpml.engine import match_iter, prepare
+from repro.gpml.streaming import PipelineStats
+from repro.gql.session import GqlSession
+from repro.obs import Telemetry, WorkLog, validate_document
+from repro.obs.fingerprint import query_fingerprint
+from repro.obs.worklog import QueryRecord, stage_label
+from repro.pgq.tabular import tabular_representation
+from repro.sql.database import Database
+
+
+@pytest.fixture()
+def graph(fig1):
+    return fig1
+
+
+def _record(**overrides):
+    base = dict(
+        fingerprint="abc", query="MATCH (a)", engine="gql",
+        wall_ms=1.0, rows=1, steps=1, matches=1,
+    )
+    base.update(overrides)
+    return QueryRecord(**base)
+
+
+# -- the ring buffer --------------------------------------------------------
+
+
+def test_worklog_is_bounded():
+    worklog = WorkLog(capacity=3)
+    for index in range(10):
+        worklog.append(_record(fingerprint=f"f{index}"))
+    assert len(worklog) == 3
+    assert [r.fingerprint for r in worklog.entries()] == ["f7", "f8", "f9"]
+
+
+def test_worklog_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        WorkLog(capacity=0)
+
+
+def test_slow_queries_filter():
+    worklog = WorkLog()
+    worklog.append(_record(slow=False))
+    worklog.append(_record(fingerprint="slow", slow=True))
+    assert [r.fingerprint for r in worklog.slow_queries()] == ["slow"]
+
+
+def test_stage_label_strips_ordinals_and_query_text():
+    assert stage_label("pattern #2 search (enumerate)") == "pattern search (enumerate)"
+    assert stage_label("MATCH: (a:Account)-[t]->(b)") == "MATCH"
+    assert stage_label("project") == "project"
+
+
+# -- recording semantics ----------------------------------------------------
+
+
+def test_record_query_populates_registry_and_log():
+    telemetry = Telemetry(slow_ms=None)
+    stats = PipelineStats()
+    stats.rows, stats.steps, stats.matches = 4, 20, 5
+    record = telemetry.record_query("gql", "MATCH (a:Account)", 0.002, stats)
+    assert record.fingerprint == query_fingerprint("MATCH (a:Account)")
+    assert record.rows == 4 and record.steps == 20 and record.matches == 5
+    assert record.wall_ms == pytest.approx(2.0)
+    assert not record.slow and record.trace is None
+    labels = {"engine": "gql", "fingerprint": record.fingerprint}
+    assert telemetry.queries_total.value(**labels) == 1
+    assert telemetry.rows_total.value(**labels) == 4
+    assert telemetry.steps_total.value(**labels) == 20
+    assert telemetry.latency.sample(**labels).count == 1
+    assert telemetry.worklog_size.value() == 1
+
+
+def test_slow_query_keeps_trace_and_counts():
+    telemetry = Telemetry(slow_ms=0.0)
+    stats = telemetry.stats_for(query="MATCH (a)", engine="gql")
+    stats.trace.root.child("pattern #1 search (enumerate)")
+    telemetry.record_query("gql", "MATCH (a)", 0.5, stats)
+    (record,) = telemetry.worklog.slow_queries()
+    assert record.slow
+    assert record.trace is not None and record.trace["schema"] == "repro.trace/v1"
+    assert telemetry.slow_total.value(engine="gql") == 1
+    # Stage histogram picked up the normalized span name.
+    assert (
+        telemetry.stage_latency.sample(
+            engine="gql", stage="pattern search (enumerate)"
+        ).count
+        == 1
+    )
+    validate_document(telemetry.to_dict())
+
+
+def test_fast_query_drops_trace():
+    telemetry = Telemetry(slow_ms=10_000.0)
+    stats = telemetry.stats_for(query="MATCH (a)", engine="gql")
+    telemetry.record_query("gql", "MATCH (a)", 0.0001, stats)
+    (record,) = telemetry.worklog.entries()
+    assert not record.slow and record.trace is None
+
+
+def test_queries_without_text_are_unknown():
+    telemetry = Telemetry()
+    record = telemetry.record_query("gpml", None, 0.001)
+    assert record.fingerprint == "unknown"
+    assert telemetry.queries_total.value(engine="gpml", fingerprint="unknown") == 1
+
+
+# -- threading through the hosts --------------------------------------------
+
+
+def test_gql_session_records_queries(graph):
+    telemetry = Telemetry(slow_ms=None)
+    session = GqlSession(graph, telemetry=telemetry)
+    result = session.execute(
+        "MATCH (a:Account)-[t:Transfer]->(b) RETURN a.owner, b.owner"
+    )
+    (record,) = telemetry.worklog.entries()
+    assert record.engine == "gql"
+    assert record.rows == len(result.records)
+    assert record.steps > 0
+    assert record.plan is not None  # autotrace captured the planner line
+
+
+def test_gql_results_identical_with_and_without_telemetry(graph):
+    query = "MATCH (a:Account)-[t:Transfer]->(b) RETURN a.owner, b.owner"
+    plain = GqlSession(graph).execute(query)
+    metered = GqlSession(graph, telemetry=Telemetry()).execute(query)
+    assert metered.records == plain.records
+    assert metered.columns == plain.columns
+
+
+def test_gql_early_termination_logs_partial_delivery(graph):
+    telemetry = Telemetry(slow_ms=None)
+    session = GqlSession(graph, telemetry=telemetry)
+    assert session.first("MATCH (a:Account) RETURN a.owner") is not None
+    (record,) = telemetry.worklog.entries()
+    assert record.rows == 1  # not the full Account count
+
+
+def test_gql_abandoned_iterator_still_records(graph):
+    telemetry = Telemetry(slow_ms=None)
+    session = GqlSession(graph, telemetry=telemetry)
+    iterator = session.execute_iter("MATCH (a:Account) RETURN a.owner")
+    next(iterator)
+    iterator.close()
+    (record,) = telemetry.worklog.entries()
+    assert record.rows == 1
+
+
+def test_database_records_queries(graph):
+    telemetry = Telemetry(slow_ms=None)
+    database = Database(telemetry=telemetry)
+    database.register_graph("bank", graph)
+    table = database.execute(
+        "SELECT g.src FROM GRAPH_TABLE(bank MATCH (a:Account)-[t:Transfer]->(b) "
+        "COLUMNS (a.owner AS src)) AS g"
+    )
+    (record,) = telemetry.worklog.entries()
+    assert record.engine == "sql"
+    assert record.rows == len(table.rows)
+
+
+def test_database_ddl_and_explain_not_recorded(graph):
+    telemetry = Telemetry(slow_ms=None)
+    database = Database(telemetry=telemetry)
+    database.register_graph("bank", graph)
+    database.explain(
+        "SELECT g.src FROM GRAPH_TABLE(bank MATCH (a:Account) "
+        "COLUMNS (a.owner AS src)) AS g"
+    )
+    assert len(telemetry.worklog) == 0
+
+
+def test_sql_results_identical_with_and_without_telemetry(graph):
+    sql = (
+        "SELECT g.src FROM GRAPH_TABLE(bank MATCH (a:Account)-[t:Transfer]->(b) "
+        "COLUMNS (a.owner AS src)) AS g ORDER BY g.src"
+    )
+
+    def run(telemetry):
+        database = Database(telemetry=telemetry)
+        database.register_graph("bank", graph)
+        for name, table in tabular_representation(graph).items():
+            database.register_table(name, table)
+        return database.execute(sql).rows
+
+    assert run(None) == run(Telemetry())
+
+
+def test_match_iter_records_via_telemetry(graph):
+    telemetry = Telemetry(slow_ms=None)
+    rows = list(
+        match_iter(
+            graph,
+            prepare("MATCH (a:Account)-[t:Transfer]->(b)"),
+            telemetry=telemetry,
+        )
+    )
+    (record,) = telemetry.worklog.entries()
+    assert record.engine == "gpml"
+    assert record.rows == len(rows)
+    assert record.fingerprint == query_fingerprint(
+        "MATCH (a:Account)-[t:Transfer]->(b)"
+    )
+
+
+def test_shared_telemetry_aggregates_across_hosts(graph):
+    telemetry = Telemetry(slow_ms=None)
+    session = GqlSession(graph, telemetry=telemetry)
+    database = Database(telemetry=telemetry)
+    database.register_graph("bank", graph)
+    session.execute("MATCH (a:Account) RETURN a.owner")
+    session.execute("MATCH (a:Account) RETURN a.owner")
+    database.execute(
+        "SELECT g.src FROM GRAPH_TABLE(bank MATCH (a:Account) "
+        "COLUMNS (a.owner AS src)) AS g"
+    )
+    assert len(telemetry.worklog) == 3
+    engines = {record.engine for record in telemetry.worklog.entries()}
+    assert engines == {"gql", "sql"}
+    # Same GQL shape twice → one fingerprint with count 2.
+    gql_records = [r for r in telemetry.worklog.entries() if r.engine == "gql"]
+    assert gql_records[0].fingerprint == gql_records[1].fingerprint
+    assert (
+        telemetry.queries_total.value(
+            engine="gql", fingerprint=gql_records[0].fingerprint
+        )
+        == 2
+    )
+    validate_document(telemetry.to_dict())
