@@ -110,6 +110,17 @@ def build_suite(graph):
         "COLUMNS (a.owner AS src)"
         ")"
     )
+    # Net-zero DML round trip: every blocked account gains a review node
+    # + edge and loses both in the same transaction, so the graph is
+    # byte-identical afterwards and the entry stays order-independent.
+    # Runs LAST anyway so its version churn cannot warm or chill the
+    # read-only queries' caches.
+    gql_dml = (
+        "MATCH (a:Account WHERE a.isBlocked='yes') "
+        "INSERT (a)-[:FlaggedBy]->(r:Review {src: a.owner}) "
+        "DETACH DELETE r "
+        "RETURN a.owner AS owner"
+    )
     return [
         ("gpml_blocked_hop", "gpml", gpml_hop, _run_gpml(graph, gpml_hop)),
         (
@@ -122,6 +133,7 @@ def build_suite(graph):
         ("gql_distinct_order", "gql", gql_ordered, _run_gql(graph, gql_ordered)),
         ("sql_pushdown_fetch", "sql", sql_pushdown, _run_sql(database, sql_pushdown)),
         ("sql_vertical_count", "sql", sql_aggregate, _run_sql(database, sql_aggregate)),
+        ("gql_dml_roundtrip", "gql", gql_dml, _run_gql(graph, gql_dml)),
     ]
 
 

@@ -221,6 +221,11 @@ def build_gql_parser() -> argparse.ArgumentParser:
         help="disable the columnar frontier engine: run pattern searches "
         "on the object-graph matcher (the reference oracle)",
     )
+    parser.add_argument(
+        "--save", metavar="FILE", default=None,
+        help="after the query commits, write the (possibly mutated) graph "
+        "as JSON to FILE — pairs with INSERT/SET/DELETE statements",
+    )
     _add_metrics_arguments(parser)
     return parser
 
@@ -394,9 +399,17 @@ def gql_main(argv: list[str]) -> int:
             from repro.obs import Telemetry
 
             telemetry = Telemetry(slow_ms=args.slow_ms)
+        from repro.gql.dml import WRITE_STATEMENTS
+
+        has_writes = any(
+            isinstance(statement, WRITE_STATEMENTS)
+            for statement in parsed.statements
+        )
         stats = None
         if args.stats or args.trace_json or args.analyze or telemetry:
             stats = PipelineStats.traced(query=query, engine="gql")
+        elif has_writes:
+            stats = PipelineStats()  # carries the mutation summary
         start = perf_counter()
         if args.analyze:
             from repro.obs.analyze import explain_analyze_gql
@@ -420,12 +433,23 @@ def gql_main(argv: list[str]) -> int:
                 print(" | ".join(str(_to_ids(record[name])) for name in columns))
             print(f"({count} record(s))")
         elapsed_ms = (perf_counter() - start) * 1000.0
+        if stats is not None and stats.mutations is not None:
+            summary = ", ".join(
+                f"{key}={value}" for key, value in sorted(stats.mutations.items())
+            )
+            print(f"-- mutations: {summary or 'none'} ({stats.transaction})")
         if args.stats:
             _print_stats_lines(stats, elapsed_ms, graph)
         if args.trace_json:
             _write_trace_json(args.trace_json, stats)
         if args.metrics_out:
             _write_metrics(args.metrics_out, telemetry)
+        if args.save:
+            from repro.graph.serialization import graph_to_json
+
+            with open(args.save, "w", encoding="utf-8") as handle:
+                handle.write(graph_to_json(graph))
+                handle.write("\n")
         return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -101,6 +101,10 @@ class PipelineStats:
     matches: int = 0
     rows: int = 0
     trace: Optional["QueryTrace"] = field(default=None, repr=False, compare=False)
+    #: DML outcome of a write query: summary counts ({"nodes_created": 1,
+    #: ...}) and "commit" / "rollback".  None for read queries.
+    mutations: Optional[dict] = field(default=None, repr=False, compare=False)
+    transaction: Optional[str] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def traced(

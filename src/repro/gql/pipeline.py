@@ -403,6 +403,9 @@ class CompiledPipeline:
     group_vars: frozenset[str]
     #: visible variables in binding order, across all statements
     variables: list[str]
+    #: True when the chain contains INSERT/SET/DELETE — the executor then
+    #: wraps the run in a graph transaction and never pushes a row budget
+    has_writes: bool = False
 
     def run(
         self,
@@ -472,12 +475,17 @@ def compile_pipeline(
     splits correlated WHERE/KEEP out of chained patterns, and decides per
     MATCH how it will execute (seeded / direct / hash join).
     """
+    # Local import: dml imports this module's constants, so the write
+    # statements resolve lazily to keep the import DAG acyclic.
+    from repro.gql import dml
+
     seed_enabled = config.seed_chained_match if config is not None else True
     compiled: list = []
     bound: dict[str, str] = {}  # name -> kind
     order: list[str] = []
     group_vars: set[str] = set()
     unit_input = True  # incoming table guaranteed at most one row
+    has_writes = False
     for statement in statements:
         if isinstance(statement, MatchStatement):
             match = _compile_match(statement, bound, unit_input, seed_enabled)
@@ -501,7 +509,21 @@ def compile_pipeline(
         elif isinstance(statement, FilterStatement):
             _check_known_variables(statement.condition, bound, statement.text)
             compiled.append(CompiledFilter(statement))
-        else:  # pragma: no cover - parser produces only the three kinds
+        elif isinstance(statement, dml.InsertStatement):
+            stage, new_names = dml.compile_insert(statement, bound)
+            for name in new_names:
+                bound[name] = SINGLETON
+                order.append(name)
+            compiled.append(stage)
+            has_writes = True
+            unit_input = False  # conservatively: writes break streaming anyway
+        elif isinstance(statement, dml.SetStatement):
+            compiled.append(dml.compile_set(statement, bound))
+            has_writes = True
+        elif isinstance(statement, dml.DeleteStatement):
+            compiled.append(dml.compile_delete(statement, bound))
+            has_writes = True
+        else:  # pragma: no cover - parser produces only these kinds
             raise GqlError(f"unknown statement {statement!r}")
         if isinstance(statement, MatchStatement):
             for name, kind in _match_var_kinds(compiled[-1].prepared).items():
@@ -510,6 +532,7 @@ def compile_pipeline(
         statements=compiled,
         group_vars=frozenset(group_vars),
         variables=order,
+        has_writes=has_writes,
     )
 
 

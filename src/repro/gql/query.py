@@ -52,6 +52,11 @@ from repro.gpml.lexer import IDENT
 from repro.gpml.matcher import MatcherConfig
 from repro.gpml.parser import GpmlParser
 from repro.gpml.streaming import BLOCKING, STREAMING, PipelineStats, RowBudget
+from repro.gql.dml import (
+    parse_delete_statement,
+    parse_insert_statement,
+    parse_set_statement,
+)
 from repro.gql.pipeline import (
     CompiledPipeline,
     FilterStatement,
@@ -99,11 +104,22 @@ class GqlQuery:
 
 
 class GqlResult:
-    """Rows of projected values; elements and paths stay first-class."""
+    """Rows of projected values; elements and paths stay first-class.
 
-    def __init__(self, columns: list[str], records: list[dict[str, Any]]):
+    For write queries, :attr:`mutations` carries the committed
+    transaction's summary counts (``{"nodes_created": 1, ...}``); it is
+    None for read queries.
+    """
+
+    def __init__(
+        self,
+        columns: list[str],
+        records: list[dict[str, Any]],
+        mutations: Optional[dict] = None,
+    ):
         self.columns = columns
         self.records = records
+        self.mutations = mutations
 
     def __len__(self) -> int:
         return len(self.records)
@@ -157,6 +173,7 @@ def parse_gql_query(text: str) -> GqlQuery:
         parser.advance()
         graph_name = parser.expect_ident()
     statements: list = []
+    has_writes = False
     while True:
         if parser.at_keyword("MATCH"):
             statements.append(_parse_match_statement(parser, text, optional=False))
@@ -172,17 +189,42 @@ def parse_gql_query(text: str) -> GqlQuery:
             statements.append(_parse_let_statement(parser, text))
         elif _at_word(parser, "FILTER"):
             statements.append(_parse_filter_statement(parser, text))
+        elif _at_word(parser, "INSERT"):
+            statements.append(parse_insert_statement(parser, text))
+            has_writes = True
+        elif _at_word(parser, "SET"):
+            statements.append(parse_set_statement(parser, text))
+            has_writes = True
+        elif _at_word(parser, "DELETE") or _at_word(parser, "DETACH"):
+            statements.append(parse_delete_statement(parser, text))
+            has_writes = True
         else:
             break
     if not statements:
         parser.error(
-            "GQL query must start with MATCH, OPTIONAL MATCH, LET or FILTER"
+            "GQL query must start with MATCH, OPTIONAL MATCH, LET, FILTER, "
+            "INSERT, SET or DELETE"
         )
+    items: list[ReturnItem] = []
+    distinct = False
+    order_by: list[OrderItem] = []
+    limit = offset = None
     if not parser.at_keyword("RETURN"):
-        parser.error("GQL query requires a RETURN clause")
+        # Write-only queries may omit RETURN; read queries may not.
+        if not has_writes:
+            parser.error("GQL query requires a RETURN clause")
+        parser.expect_eof()
+        return GqlQuery(
+            graph_name=graph_name,
+            statements=statements,
+            items=items,
+            distinct=distinct,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
     parser.advance()  # RETURN
     distinct = bool(parser.accept_keyword("DISTINCT"))
-    items: list[ReturnItem] = []
     while True:
         expr = parser.parse_expression()
         if parser.accept_keyword("AS"):
@@ -192,7 +234,6 @@ def parse_gql_query(text: str) -> GqlQuery:
         items.append(ReturnItem(expr=expr, alias=alias))
         if not parser.accept_punct(","):
             break
-    order_by: list[OrderItem] = []
     if parser.accept_keyword("ORDER"):
         parser.expect_keyword("BY")
         while True:
@@ -205,7 +246,6 @@ def parse_gql_query(text: str) -> GqlQuery:
             order_by.append(OrderItem(expr=expr, descending=descending))
             if not parser.accept_punct(","):
                 break
-    limit = offset = None
     # LIMIT and OFFSET may come in either order.
     for _ in range(2):
         if parser.accept_keyword("LIMIT"):
@@ -284,10 +324,19 @@ def _default_alias(expr: Expr, index: int) -> str:
 def execute_gql(
     graph: PropertyGraph, query: "str | GqlQuery", config: MatcherConfig | None = None
 ) -> GqlResult:
-    """Materializing wrapper: ``list()`` of :func:`execute_gql_iter`."""
+    """Materializing wrapper: ``list()`` of :func:`execute_gql_iter`.
+
+    Write queries additionally surface the transaction summary on
+    :attr:`GqlResult.mutations`.
+    """
     parsed = parse_gql_query(query) if isinstance(query, str) else query
-    records = list(execute_gql_iter(graph, parsed, config))
-    return GqlResult(columns=[item.alias for item in parsed.items], records=records)
+    compiled = compile_pipeline(parsed.statements, config)
+    columns = [item.alias for item in parsed.items]
+    if compiled.has_writes:
+        records, summary = _execute_write_query(graph, parsed, compiled, config, None)
+        return GqlResult(columns=columns, records=records, mutations=summary)
+    records = list(_read_query_iter(graph, parsed, compiled, config, None))
+    return GqlResult(columns=columns, records=records)
 
 
 def execute_gql_iter(
@@ -296,17 +345,88 @@ def execute_gql_iter(
     config: MatcherConfig | None = None,
     stats: Optional[PipelineStats] = None,
 ) -> Iterator[dict[str, Any]]:
-    """Execute a GQL read query as a lazy stream of projected records.
+    """Execute a GQL query as a stream of projected records.
 
-    Streams whenever the query has no ORDER BY and no vertical aggregate
-    (the two record-level pipeline breakers), pushing an ``OFFSET+LIMIT``
-    row budget down through every statement's pattern search; otherwise
-    materializes the breaker's input and yields the sliced records.
-    Either way the records equal :func:`execute_gql`'s, in the same
-    order.
+    Read queries stream whenever they have no ORDER BY and no vertical
+    aggregate (the two record-level pipeline breakers), pushing an
+    ``OFFSET+LIMIT`` row budget down through every statement's pattern
+    search; otherwise the breaker's input is materialized and the sliced
+    records are yielded.  Either way the records equal
+    :func:`execute_gql`'s, in the same order.
+
+    Write queries (any INSERT/SET/DELETE statement) execute **eagerly at
+    call time** inside a graph transaction — commit on success, rollback
+    to the bit-identical pre-query state on any error — and the returned
+    iterator replays the already-projected records.  Eager execution is
+    deliberate: mutations must not depend on whether the caller drains
+    the iterator.  With ``stats`` given, ``stats.mutations`` and
+    ``stats.transaction`` record the outcome.
     """
     parsed = parse_gql_query(query) if isinstance(query, str) else query
     compiled = compile_pipeline(parsed.statements, config)
+    if compiled.has_writes:
+        records, _ = _execute_write_query(graph, parsed, compiled, config, stats)
+        return iter(records)
+    return _read_query_iter(graph, parsed, compiled, config, stats)
+
+
+def _execute_write_query(
+    graph: PropertyGraph,
+    parsed: GqlQuery,
+    compiled: CompiledPipeline,
+    config: MatcherConfig | None,
+    stats: Optional[PipelineStats],
+) -> tuple[list[dict[str, Any]], dict[str, int]]:
+    """Run a write query inside an apply-or-rollback transaction.
+
+    The whole pipeline — pattern searches, mutations, and the RETURN
+    projection — runs under one :class:`GraphTransaction`; any error
+    restores the pre-query graph (elements, indexes, stats caches, and
+    ``version``) before re-raising.  Write queries never push a row
+    budget down the chain (a budget would truncate mutations); LIMIT and
+    OFFSET slice the *returned records* only.
+    """
+    has_vertical = _mark_vertical_aggregates(parsed, compiled.group_vars)
+    txn = graph.begin_mutation()
+    try:
+        rows = list(compiled.run(graph, config, stats=stats))
+        if parsed.items:
+            if has_vertical:
+                records = _grouped_records(graph, parsed, rows)
+            else:
+                records = _plain_records(graph, parsed, rows)
+            if parsed.distinct:
+                records = _distinct_records(records, parsed)
+            if parsed.order_by:
+                records = _order_records(graph, records, parsed)
+            if parsed.offset is not None:
+                records = records[parsed.offset :]
+            if parsed.limit is not None:
+                records = records[: parsed.limit]
+        else:
+            records = []
+    except BaseException:
+        txn.rollback()
+        if stats is not None:
+            # Rolled-back mutations never happened; only the outcome counts.
+            stats.transaction = "rollback"
+        raise
+    summary = txn.counts()
+    txn.commit()
+    if stats is not None:
+        stats.transaction = "commit"
+        stats.mutations = summary
+        stats.rows += len(records)
+    return records, summary
+
+
+def _read_query_iter(
+    graph: PropertyGraph,
+    parsed: GqlQuery,
+    compiled: CompiledPipeline,
+    config: MatcherConfig | None,
+    stats: Optional[PipelineStats],
+) -> Iterator[dict[str, Any]]:
     has_vertical = _mark_vertical_aggregates(parsed, compiled.group_vars)
     trace = stats.trace if stats is not None else None
 
@@ -405,11 +525,18 @@ def explain_gql(
     parsed = parse_gql_query(query) if isinstance(query, str) else query
     compiled = compile_pipeline(parsed.statements, config)
     has_vertical = _mark_vertical_aggregates(parsed, compiled.group_vars)
-    lines = [f"GQL pipeline: {len(parsed.statements)} statement(s) + RETURN"]
+    tail = "RETURN" if parsed.items else "no RETURN"
+    lines = [f"GQL pipeline: {len(parsed.statements)} statement(s) + {tail}"]
     lines.extend(compiled.describe())
     items = ", ".join(item.alias for item in parsed.items)
-    lines.append(f"RETURN: {items}")
-    if has_vertical or parsed.order_by:
+    lines.append(f"RETURN: {items or '(none — write-only query)'}")
+    if compiled.has_writes:
+        lines.append(
+            f"  [{BLOCKING}] DML transaction: statements run eagerly, "
+            f"commit on success or rollback to the pre-query graph; "
+            f"LIMIT/OFFSET slice the returned records"
+        )
+    elif has_vertical or parsed.order_by:
         breakers = []
         if has_vertical:
             breakers.append("vertical aggregation")

@@ -20,6 +20,7 @@ check per execution and leaves the untraced paths byte-identical.
 from __future__ import annotations
 
 import dataclasses
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -88,9 +89,21 @@ class GqlSession:
             return execute_gql_iter(resolved, parsed, config, stats)
         if stats is None:
             stats = self.telemetry.stats_for(query=query_text, engine="gql")
-        return self.telemetry.instrument(
-            execute_gql_iter(resolved, parsed, config, stats), "gql", query_text, stats
-        )
+        start = perf_counter()
+        try:
+            rows = execute_gql_iter(resolved, parsed, config, stats)
+        except Exception:
+            # Write pipelines execute eagerly, so a failed statement
+            # raises here — after its rollback but before the delivery
+            # iterator exists.  Record the rolled-back transaction; the
+            # mutation counters stay untouched (stats.mutations is only
+            # set on commit).
+            if stats.transaction is not None:
+                self.telemetry.record_query(
+                    "gql", query_text, perf_counter() - start, stats
+                )
+            raise
+        return self.telemetry.instrument(rows, "gql", query_text, stats)
 
     def execute(
         self,
@@ -101,8 +114,13 @@ class GqlSession:
         parsed = parse_gql_query(query)
         if self.telemetry is None:
             return execute_gql(self._resolve(parsed, graph), parsed, config)
-        records = list(self._iter_records(query, parsed, graph, config, None))
-        return GqlResult(columns=[item.alias for item in parsed.items], records=records)
+        stats = self.telemetry.stats_for(query=query, engine="gql")
+        records = list(self._iter_records(query, parsed, graph, config, stats))
+        return GqlResult(
+            columns=[item.alias for item in parsed.items],
+            records=records,
+            mutations=stats.mutations,
+        )
 
     def execute_iter(
         self,
@@ -143,6 +161,34 @@ class GqlSession:
     ) -> bool:
         """Whether the query yields at least one record (early-terminating)."""
         return self.first(query, graph, config) is not None
+
+    def register_standing(
+        self,
+        query: str,
+        graph: PropertyGraph | None = None,
+        config: MatcherConfig | None = None,
+        limit: Optional[int] = None,
+    ):
+        """Register *query* as a standing query against the resolved graph.
+
+        Returns a :class:`~repro.gql.standing.StandingQuery` already
+        filled with the current result; call its ``refresh()`` after
+        mutations to receive the delta, ``rows()`` for the maintained
+        view, and ``close()`` to unsubscribe.  The session's telemetry
+        (when configured) records every refresh.
+        """
+        # Imported lazily: standing pulls in the planner index layer.
+        from repro.gql.standing import StandingQuery
+
+        parsed = parse_gql_query(query)
+        return StandingQuery(
+            self._resolve(parsed, graph),
+            parsed,
+            config=config,
+            limit=limit,
+            telemetry=self.telemetry,
+            query_text=query,
+        )
 
     def explain_analyze(
         self,

@@ -61,6 +61,30 @@ class GraphBuilder:
             self._graph.add_node(node_id, labels=labels)
         return self
 
+    def set_property(self, element_id: str, key: str, value: Any) -> "GraphBuilder":
+        """Overwrite one property of an already-added node or edge."""
+        self._check_open()
+        self._graph.set_property(element_id, key, value)
+        return self
+
+    def set_labels(self, element_id: str, *labels: str) -> "GraphBuilder":
+        """Replace the label set of an already-added node or edge."""
+        self._check_open()
+        self._graph.set_labels(element_id, labels)
+        return self
+
+    def remove_node(self, node_id: str) -> "GraphBuilder":
+        """Drop a node (and its incident edges) added earlier by mistake."""
+        self._check_open()
+        self._graph.remove_node(node_id)
+        return self
+
+    def remove_edge(self, edge_id: str) -> "GraphBuilder":
+        """Drop an edge added earlier by mistake."""
+        self._check_open()
+        self._graph.remove_edge(edge_id)
+        return self
+
     def build(self) -> PropertyGraph:
         """Finalize and return the graph; the builder cannot be reused."""
         self._check_open()

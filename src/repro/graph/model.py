@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import GraphError
+from repro.graph.changelog import ChangeRecord, GraphTransaction
 from repro.values import NULL
 
 # Directions in which an edge can be traversed relative to a node.
@@ -248,15 +249,57 @@ class PropertyGraph:
         ] = {}
         self._auto_counter = 0
         self._version = 0
+        # Mutation journal consumers: at most one active transaction
+        # (apply-or-rollback) plus any number of change watchers
+        # (standing queries).  See repro.graph.changelog.
+        self._txn: GraphTransaction | None = None
+        self._watchers: list = []
 
     @property
     def version(self) -> int:
         """Mutation counter; bumped by every structural or property change.
 
         Consumers (statistics catalogs, cached query plans) key their
-        caches on this value so graph mutation invalidates them.
+        caches on this value so graph mutation invalidates them.  A
+        mutation that changes nothing (setting a property to its current
+        value, replacing labels with the same set) does **not** bump.
         """
         return self._version
+
+    # ------------------------------------------------------------------
+    # Mutation journal: transactions and change watchers
+    # ------------------------------------------------------------------
+    def begin_mutation(self) -> GraphTransaction:
+        """Start an apply-or-rollback transaction over this graph."""
+        return GraphTransaction(self)
+
+    def add_watcher(self, callback) -> None:
+        """Subscribe *callback* to mutation batches.
+
+        Called with a list of :class:`ChangeRecord` — per mutation when
+        no transaction is active, once per commit otherwise.  Rolled
+        back transactions publish nothing.
+        """
+        self._watchers.append(callback)
+
+    def remove_watcher(self, callback) -> None:
+        try:
+            self._watchers.remove(callback)
+        except ValueError:
+            pass
+
+    def _notify(self, changes: list[ChangeRecord]) -> None:
+        for callback in list(self._watchers):
+            callback(changes)
+
+    def _journaling(self) -> bool:
+        return self._txn is not None or bool(self._watchers)
+
+    def _record_change(self, undo: tuple, change: ChangeRecord) -> None:
+        if self._txn is not None:
+            self._txn.record(undo, change)
+        elif self._watchers:
+            self._notify([change])
 
     # ------------------------------------------------------------------
     # Construction
@@ -284,6 +327,10 @@ class PropertyGraph:
         for label in data.labels:
             self._node_label_index.setdefault(label, set()).add(node_id)
         self._index_element_added("node", node_id, data)
+        if self._journaling():
+            self._record_change(
+                ("add_node", node_id), ChangeRecord("add_node", "node", node_id)
+            )
         self._version += 1
         return Node(self, node_id)
 
@@ -323,6 +370,11 @@ class PropertyGraph:
         self._incidence_label_cache.pop(first, None)
         self._incidence_label_cache.pop(second, None)
         self._index_element_added("edge", edge_id, data)
+        if self._journaling():
+            self._record_change(
+                ("add_edge", edge_id),
+                ChangeRecord("add_edge", "edge", edge_id, first, second),
+            )
         self._version += 1
         return Edge(self, edge_id)
 
@@ -337,9 +389,24 @@ class PropertyGraph:
         return self.add_edge(edge_id, first, second, labels, properties, directed=False)
 
     def remove_edge(self, edge_id: str) -> None:
-        data = self._edges.pop(edge_id, None)
+        data = self._edges.get(edge_id)
         if data is None:
             raise GraphError(f"unknown edge {edge_id!r}")
+        undo: tuple = ()
+        if self._txn is not None:
+            # Bit-identical rollback: capture the dict insertion position
+            # and each endpoint's exact incidence-list order.
+            undo = (
+                "remove_edge",
+                edge_id,
+                data,
+                list(self._edges).index(edge_id),
+                {
+                    endpoint: list(self._incidence[endpoint])
+                    for endpoint in {data.first, data.second}
+                },
+            )
+        del self._edges[edge_id]
         for endpoint in {data.first, data.second}:
             self._incidence[endpoint] = [
                 inc for inc in self._incidence[endpoint] if inc.edge != edge_id
@@ -348,6 +415,11 @@ class PropertyGraph:
         for label in data.labels:
             self._edge_label_index[label].discard(edge_id)
         self._index_element_removed("edge", edge_id, data)
+        if self._journaling():
+            self._record_change(
+                undo,
+                ChangeRecord("remove_edge", "edge", edge_id, data.first, data.second),
+            )
         self._version += 1
 
     def remove_node(self, node_id: str) -> None:
@@ -357,19 +429,50 @@ class PropertyGraph:
         for inc in list(self._incidence[node_id]):
             if inc.edge in self._edges:
                 self.remove_edge(inc.edge)
+        position = list(self._nodes).index(node_id) if self._txn is not None else -1
         data = self._nodes.pop(node_id)
         del self._incidence[node_id]
         self._incidence_label_cache.pop(node_id, None)
         for label in data.labels:
             self._node_label_index[label].discard(node_id)
         self._index_element_removed("node", node_id, data)
+        if self._journaling():
+            self._record_change(
+                ("remove_node", node_id, data, position),
+                ChangeRecord("remove_node", "node", node_id),
+            )
         self._version += 1
 
     def set_property(self, element_id: str, key: str, value: Any) -> None:
         data = self._element_data(element_id)
         kind = "node" if element_id in self._nodes else "edge"
         old = data.properties.get(key, _MISSING)
-        data.properties[key] = value
+        if old is not _MISSING and type(old) is type(value) and old == value:
+            return  # no logical change: no version bump, no journal entry
+        self._set_property_impl(kind, data, element_id, key, value)
+        self._journal_property(kind, data, element_id, key, old)
+        self._version += 1
+
+    def remove_property(self, element_id: str, key: str) -> None:
+        """Delete a property; a no-op (no version bump) when absent."""
+        data = self._element_data(element_id)
+        kind = "node" if element_id in self._nodes else "edge"
+        old = data.properties.get(key, _MISSING)
+        if old is _MISSING:
+            return
+        self._set_property_impl(kind, data, element_id, key, _MISSING)
+        self._journal_property(kind, data, element_id, key, old)
+        self._version += 1
+
+    def _set_property_impl(
+        self, kind: str, data: _ElementData, element_id: str, key: str, value: Any
+    ) -> None:
+        """Write (or, for ``_MISSING``, drop) a property + maintain indexes."""
+        old = data.properties.get(key, _MISSING)
+        if value is _MISSING:
+            data.properties.pop(key, None)
+        else:
+            data.properties[key] = value
         for (index_kind, label, prop), buckets in self._property_indexes.items():
             if index_kind != kind or prop != key:
                 continue
@@ -377,13 +480,49 @@ class PropertyGraph:
                 continue
             if old is not _MISSING:
                 _index_discard(buckets, old, element_id)
-            _index_add(buckets, value, element_id)
-        self._version += 1
+            if value is not _MISSING:
+                _index_add(buckets, value, element_id)
+
+    def _journal_property(
+        self, kind: str, data: _ElementData, element_id: str, key: str, old: Any
+    ) -> None:
+        if not self._journaling():
+            return
+        first = second = None
+        if kind == "edge":
+            first, second = data.first, data.second  # type: ignore[attr-defined]
+        self._record_change(
+            ("set_property", kind, element_id, key, old),
+            ChangeRecord("set_property", kind, element_id, first, second),
+        )
 
     def set_labels(self, element_id: str, labels: Iterable[str]) -> None:
         """Replace the label set of a node or edge, keeping indexes correct."""
         data = self._element_data(element_id)
         kind = "node" if element_id in self._nodes else "edge"
+        old_labels = data.labels
+        new_labels = frozenset(labels)
+        if new_labels == old_labels:
+            return  # no logical change: no version bump, no journal entry
+        self._set_labels_impl(kind, data, element_id, new_labels)
+        if self._journaling():
+            first = second = None
+            if kind == "edge":
+                first, second = data.first, data.second  # type: ignore[attr-defined]
+            self._record_change(
+                ("set_labels", kind, element_id, old_labels),
+                ChangeRecord("set_labels", kind, element_id, first, second),
+            )
+        self._version += 1
+
+    def _set_labels_impl(
+        self,
+        kind: str,
+        data: _ElementData,
+        element_id: str,
+        labels: frozenset[str],
+    ) -> None:
+        """Replace labels + maintain label and label-scoped property indexes."""
         old_labels = data.labels
         new_labels = frozenset(labels)
         data.labels = new_labels
@@ -407,7 +546,6 @@ class PropertyGraph:
             elif label in new_labels and label not in old_labels:
                 if prop in data.properties:
                     _index_add(buckets, data.properties[prop], element_id)
-        self._version += 1
 
     # ------------------------------------------------------------------
     # Property-value hash indexes

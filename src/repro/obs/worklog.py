@@ -29,7 +29,21 @@ Standard metric families (created eagerly so exports are stable):
 ``repro_query_steps``                     log-bucketed histogram     engine, fingerprint
 ``repro_stage_latency_ms``                log-bucketed histogram     engine, stage
 ``repro_worklog_size``                    gauge                      —
+``repro_mutations_total``                 counter                    engine, op
+``repro_transactions_total``              counter                    engine, outcome
+``repro_standing_refreshes_total``        counter                    fingerprint
+``repro_standing_deltas_total``           counter                    fingerprint, kind
+``repro_standing_refresh_steps_total``    counter                    fingerprint
+``repro_standing_lag``                    gauge                      fingerprint
 ========================================  =========================  ======
+
+The mutation counters record *committed* DML only — a rolled-back
+statement bumps ``repro_transactions_total{outcome="rollback"}`` and
+nothing else, since its mutations never happened.  The standing-query
+families are fed by :meth:`Telemetry.record_standing_refresh` (one call
+per :meth:`~repro.gql.standing.StandingQuery.refresh`): delta rows by
+kind (``added`` / ``retracted``), matcher steps spent re-matching the
+region, and the post-refresh lag (buffered change records).
 
 Stage latencies come from the query's trace spans (when tracing ran),
 with span names normalized to shapes (``pattern #2 search (enumerate)``
@@ -202,6 +216,37 @@ class Telemetry:
         self.worklog_size = r.gauge(
             "repro_worklog_size", "Query-log entries currently retained."
         )
+        self.mutations_total = r.counter(
+            "repro_mutations_total",
+            "Graph elements touched by committed DML, by operation.",
+            ("engine", "op"),
+        )
+        self.transactions_total = r.counter(
+            "repro_transactions_total",
+            "DML transactions finished, by outcome.",
+            ("engine", "outcome"),
+        )
+        standing_labels = ("fingerprint",)
+        self.standing_refreshes_total = r.counter(
+            "repro_standing_refreshes_total",
+            "Standing-query incremental refreshes.",
+            standing_labels,
+        )
+        self.standing_deltas_total = r.counter(
+            "repro_standing_deltas_total",
+            "Standing-query delta rows emitted, by kind (added/retracted).",
+            ("fingerprint", "kind"),
+        )
+        self.standing_steps_total = r.counter(
+            "repro_standing_refresh_steps_total",
+            "Matcher steps spent re-matching standing-query regions.",
+            standing_labels,
+        )
+        self.standing_lag = r.gauge(
+            "repro_standing_lag",
+            "Change records buffered but not yet folded into the view.",
+            standing_labels,
+        )
 
     # -- hooks the execution hosts call ---------------------------------
     def stats_for(self, query: Optional[str] = None, engine: Optional[str] = None):
@@ -261,6 +306,14 @@ class Telemetry:
         self.steps_total.inc(steps, **labels)
         self.latency.observe(wall_ms, **labels)
         self.steps_hist.observe(steps, **labels)
+        if stats is not None:
+            if stats.transaction is not None:
+                self.transactions_total.inc(
+                    engine=engine, outcome=stats.transaction
+                )
+            if stats.mutations:
+                for op, count in stats.mutations.items():
+                    self.mutations_total.inc(count, engine=engine, op=op)
         plan = None
         if trace is not None:
             from repro.obs.analyze import plan_summary
@@ -291,6 +344,26 @@ class Telemetry:
         self.worklog.append(record)
         self.worklog_size.set(len(self.worklog))
         return record
+
+    def record_standing_refresh(
+        self,
+        query: Optional[str],
+        changes: int,
+        added: int,
+        retracted: int,
+        steps: int,
+        lag: int,
+    ) -> None:
+        """Record one standing-query refresh (delta sizes, steps, lag)."""
+        fingerprint = query_fingerprint(query) if query else "unknown"
+        labels = {"fingerprint": fingerprint}
+        self.standing_refreshes_total.inc(**labels)
+        if added:
+            self.standing_deltas_total.inc(added, kind="added", **labels)
+        if retracted:
+            self.standing_deltas_total.inc(retracted, kind="retracted", **labels)
+        self.standing_steps_total.inc(steps, **labels)
+        self.standing_lag.set(lag, **labels)
 
     # -- export ---------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:

@@ -129,6 +129,9 @@ def test_main_prom_out_writes_snapshot(tmp_path):
     )
     text = prom.read_text(encoding="utf-8")
     assert "# TYPE repro_queries_total counter" in text
-    # One labelset per suite query (six distinct fingerprints).
+    # One labelset per suite query (distinct fingerprints).
+    from repro.datasets import figure1_graph
+
+    suite_size = len(reporting.build_suite(figure1_graph()))
     lines = [l for l in text.splitlines() if l.startswith("repro_queries_total{")]
-    assert len(lines) == 6
+    assert len(lines) == suite_size

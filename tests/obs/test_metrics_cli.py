@@ -34,6 +34,28 @@ def test_sql_metrics_out_prometheus(tmp_path, capsys):
     assert text.endswith("\n")
 
 
+def test_gql_dml_mutation_footer_and_metrics(tmp_path, capsys):
+    out = tmp_path / "metrics.prom"
+    assert cli_main(
+        ["gql", "INSERT (:Account {owner: 'newbie'})", "--metrics-out", str(out)]
+    ) == 0
+    assert "-- mutations: nodes_created=1 (commit)" in capsys.readouterr().out
+    text = out.read_text(encoding="utf-8")
+    assert 'repro_mutations_total{engine="gql",op="nodes_created"} 1' in text
+    assert 'repro_transactions_total{engine="gql",outcome="commit"} 1' in text
+
+
+def test_gql_save_writes_mutated_graph(tmp_path, capsys):
+    out = tmp_path / "after.json"
+    assert cli_main(
+        ["gql", "INSERT (:Account {owner: 'saved'})", "--save", str(out)]
+    ) == 0
+    document = json.loads(out.read_text(encoding="utf-8"))
+    assert any(
+        node["properties"].get("owner") == "saved" for node in document["nodes"]
+    )
+
+
 def test_slow_ms_controls_trace_capture(tmp_path):
     out = tmp_path / "metrics.json"
     assert cli_main(
