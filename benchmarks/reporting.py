@@ -110,6 +110,16 @@ def build_suite(graph):
         "COLUMNS (a.owner AS src)"
         ")"
     )
+    # Cross-model optimizer: the blocked-account watchlist joins the
+    # transfer pattern on a COLUMNS element output, so the seeded-join
+    # rewrite anchors one NFA run per probe row instead of enumerating
+    # every transfer.
+    sql_cross_model = (
+        "SELECT acc.ID, gt.dst FROM Account AS acc JOIN GRAPH_TABLE(bank "
+        "MATCH (a:Account)-[t:Transfer]->(b:Account) "
+        "COLUMNS (a AS src_el, b.owner AS dst)"
+        ") AS gt ON gt.src_el = acc.ID WHERE acc.isBlocked = 'yes'"
+    )
     # Net-zero DML round trip: every blocked account gains a review node
     # + edge and loses both in the same transaction, so the graph is
     # byte-identical afterwards and the entry stays order-independent.
@@ -133,6 +143,12 @@ def build_suite(graph):
         ("gql_distinct_order", "gql", gql_ordered, _run_gql(graph, gql_ordered)),
         ("sql_pushdown_fetch", "sql", sql_pushdown, _run_sql(database, sql_pushdown)),
         ("sql_vertical_count", "sql", sql_aggregate, _run_sql(database, sql_aggregate)),
+        (
+            "sql_cross_model_seeded",
+            "sql",
+            sql_cross_model,
+            _run_sql(database, sql_cross_model),
+        ),
         ("gql_dml_roundtrip", "gql", gql_dml, _run_gql(graph, gql_dml)),
     ]
 

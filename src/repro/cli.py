@@ -172,6 +172,16 @@ def build_sql_parser() -> argparse.ArgumentParser:
         help="disable the columnar frontier engine: run pattern searches "
         "on the object-graph matcher (the reference oracle)",
     )
+    parser.add_argument(
+        "--no-optimizer", action="store_true",
+        help="disable every cross-model rewrite rule (seeded join, shared "
+        "scan, semi-join reduction): plan the naive bound tree",
+    )
+    parser.add_argument(
+        "--optimizer-rules", metavar="RULES", default=None,
+        help="comma-separated rewrite rules to enable (seeded_join, "
+        "shared_scan, semi_join); default: all",
+    )
     _add_metrics_arguments(parser)
     return parser
 
@@ -464,9 +474,25 @@ def sql_main(argv: list[str]) -> int:
 
     from repro.gpml.streaming import PipelineStats
     from repro.pgq.tabular import tabular_representation
-    from repro.sql import Database
+    from repro.sql import ALL_RULES, Database, SqlConfig
 
     args = build_sql_parser().parse_args(argv)
+    sql_config = None
+    if args.no_optimizer:
+        sql_config = SqlConfig(optimizer_rules=frozenset())
+    elif args.optimizer_rules is not None:
+        rules = frozenset(
+            name.strip() for name in args.optimizer_rules.split(",") if name.strip()
+        )
+        unknown = rules - ALL_RULES
+        if unknown:
+            print(
+                f"error: unknown optimizer rule(s) {', '.join(sorted(unknown))}; "
+                f"valid: {', '.join(sorted(ALL_RULES))}",
+                file=sys.stderr,
+            )
+            return 2
+        sql_config = SqlConfig(optimizer_rules=rules)
     # shells prefer double quotes; SQL strings use single quotes.  Only
     # normalize when the statement has no single-quoted literal of its
     # own, so data containing double quotes survives untouched.
@@ -485,7 +511,7 @@ def sql_main(argv: list[str]) -> int:
         for name, table in tabular_representation(graph).items():
             database.register_table(name, table)
         if args.explain:
-            print(database.explain(query))
+            print(database.explain(query, sql_config=sql_config))
             return 0
         config = None
         if args.no_columnar:
@@ -497,13 +523,19 @@ def sql_main(argv: list[str]) -> int:
             stats = PipelineStats.traced(query=query, engine="sql")
         start = perf_counter()
         if args.analyze:
-            print(database.explain_analyze(query, config=config, stats=stats))
+            print(
+                database.explain_analyze(
+                    query, config=config, stats=stats, sql_config=sql_config
+                )
+            )
             if telemetry is not None:
                 telemetry.record_query(
                     "sql", query, perf_counter() - start, stats
                 )
         else:
-            result = database.execute(query, config=config, stats=stats)
+            result = database.execute(
+                query, config=config, stats=stats, sql_config=sql_config
+            )
             if isinstance(result, Table):
                 print(result.pretty(max_rows=50))
             else:  # CREATE PROPERTY GRAPH returns the new graph view

@@ -735,6 +735,68 @@ def iter_seeded_rows(
     return iter(_apply_keep(graph, list(rows()), prepared.normalized.keep))
 
 
+class SeededSearch:
+    """The shared seeded-search entry point, with per-distinct-seed memo.
+
+    Both hosts anchor searches at runtime-known nodes through this object:
+    GQL's chained MATCH seeds one run per incoming binding row, and the
+    SQL planner's join-through-GRAPH_TABLE rewrite seeds one run per probe
+    row.  Each :meth:`run` wraps :func:`iter_seeded_rows` for one seed
+    node and yields ``(values, paths)`` items.
+
+    Probe streams repeat seeds (hub nodes), and re-running the identical
+    anchored search per duplicate would cost more than the hash join it
+    replaces — so complete runs are memoized per seed id.  Only
+    *exhausted* runs are cached: a run abandoned mid-way (satisfied row
+    budget closed the generator) never populates the memo, so a truncated
+    candidate list can never be replayed as if complete.  ``span``, when
+    given, aggregates ``seeded_runs`` / ``seed_memo_hit`` /
+    ``seed_memo_miss`` tallies and the matchers' step totals instead of
+    exploding into one span per seed.
+    """
+
+    def __init__(
+        self,
+        graph: PropertyGraph,
+        prepared: PreparedQuery,
+        config: Optional[MatcherConfig] = None,
+        *,
+        reversed_run: "Optional[tuple[ast.PathPattern, PatternNFA]]" = None,
+        budget: Optional[RowBudget] = None,
+        stats: Optional[PipelineStats] = None,
+        span: Optional[Span] = None,
+    ):
+        self.graph = graph
+        self.prepared = prepared
+        self.config = config if config is not None else MatcherConfig()
+        self.reversed_run = reversed_run
+        self.budget = budget
+        self.stats = stats
+        self.span = span
+        self._memo: dict[str, list[tuple[dict, list]]] = {}
+
+    def run(self, seed_id: str) -> Iterator[tuple[dict[str, Any], list]]:
+        """All ``(values, paths)`` rows whose anchored end is *seed_id*."""
+        cached = self._memo.get(seed_id)
+        if cached is not None:
+            if self.span is not None:
+                self.span.bump("seed_memo_hit")
+            yield from cached
+            return
+        if self.span is not None:
+            self.span.bump("seed_memo_miss")
+        acc: list[tuple[dict, list]] = []
+        for m in iter_seeded_rows(
+            self.graph, self.prepared, self.config, [seed_id],
+            reversed_run=self.reversed_run, budget=self.budget,
+            stats=self.stats, span=self.span,
+        ):
+            item = (m.values, m.paths)
+            acc.append(item)
+            yield item
+        self._memo[seed_id] = acc
+
+
 def solve_path_pattern(
     graph: PropertyGraph,
     prepared: PreparedQuery,

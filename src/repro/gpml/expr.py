@@ -304,6 +304,43 @@ class IsNull(Expr):
 
 
 @dataclass(frozen=True)
+class In(Expr):
+    """``expr IN (v1, v2, ...)`` over a literal value set.
+
+    Produced by the SQL planner's semi-join reduction (the parser never
+    emits it): the probe side's distinct join-key values are injected as
+    one membership predicate.  Three-valued: UNKNOWN when the operand is
+    NULL, else TRUE/FALSE by membership.  Membership uses Python
+    hash-bucket equality — the same equality the SQL hash join applies to
+    its keys — so the injected filter keeps exactly the operand values
+    that could find a join partner.  Values are restricted to plain
+    scalars (str/int/float, never bool or NULL) by the injecting rule.
+    """
+
+    operand: Expr
+    values: tuple
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_value_set", frozenset(self.values))
+
+    def evaluate(self, ctx: EvalContext) -> TruthValue:
+        value = self.operand.evaluate(ctx)
+        if is_null(value):
+            return UNKNOWN
+        try:
+            return TRUE if value in self._value_set else FALSE
+        except TypeError:  # unhashable operand (a list) never equals a scalar
+            return FALSE
+
+    def children(self) -> Sequence[Expr]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(Literal(value)) for value in self.values)
+        return f"{self.operand} IN ({rendered})"
+
+
+@dataclass(frozen=True)
 class IsDirected(Expr):
     """``e IS DIRECTED`` (Section 4.7)."""
 

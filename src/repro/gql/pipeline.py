@@ -27,7 +27,8 @@ rendered by ``EXPLAIN``:
   variable bound upstream (an unconditional singleton), each incoming
   row seeds one anchored search from exactly that node, reusing the
   planner's pattern-reversal machinery for right ends
-  (:func:`repro.gpml.engine.iter_seeded_rows`).  This is the
+  (:class:`repro.gpml.engine.SeededSearch`, shared with the SQL
+  planner's join-through-GRAPH_TABLE rewrite).  This is the
   cross-model-efficiency move: bound variables flow *into* the pattern
   search instead of being joined after a full enumeration.
 * **direct** (streaming): while the incoming table is still the unit
@@ -56,14 +57,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
-from repro.errors import GqlError, ReproError
+from repro.errors import GqlError
 from repro.gpml import ast
 from repro.gpml.engine import (
     BindingRow,
     PreparedQuery,
+    SeededSearch,
     _apply_keep,
     _join_key,
-    iter_seeded_rows,
     match_iter,
     prepare,
 )
@@ -79,13 +80,7 @@ from repro.gpml.streaming import (
 )
 from repro.graph.model import PropertyGraph
 from repro.obs.trace import Span, counted_in, timed_rows
-from repro.planner.anchor import (
-    LEFT,
-    RIGHT,
-    compile_reversed,
-    is_reversible,
-    pinned_end_nodes,
-)
+from repro.planner.anchor import SeedSpec, plan_seed
 from repro.values import NULL, is_null
 
 #: variable kinds tracked across statements (for re-declaration checks)
@@ -128,22 +123,6 @@ class FilterStatement:
 # Compiled statements
 # ----------------------------------------------------------------------
 @dataclass
-class SeedPlan:
-    """How a chained MATCH anchors at an upstream-bound variable."""
-
-    var: str
-    side: str  # LEFT | RIGHT
-    reversed_path: Optional[ast.PathPattern] = None
-    reversed_nfa: Any = None
-
-    def describe(self) -> str:
-        return (
-            f"seeded search on {self.var} ({self.side} end bound upstream), "
-            f"one anchored run per incoming row"
-        )
-
-
-@dataclass
 class CompiledMatch:
     """A MATCH statement compiled against the upstream variable set."""
 
@@ -155,7 +134,7 @@ class CompiledMatch:
     residual_keep: Any
     shared_vars: list[str]
     new_vars: list[str]
-    seed: Optional[SeedPlan]
+    seed: Optional[SeedSpec]
     direct: bool  # incoming is the unit table: stream match_iter per row
 
     @property
@@ -208,47 +187,26 @@ class CompiledMatch:
         span: Optional[Span] = None,
     ) -> Iterator[dict[str, Any]]:
         build: Optional[dict[tuple, list[tuple[dict, list]]]] = None
-        #: per-seed memo: node id -> complete candidate list.  Incoming
-        #: rows often repeat a seed (hub nodes); re-running the identical
-        #: anchored search per duplicate would cost more than the hash
-        #: join it replaces.  Only *exhausted* runs are cached — a run
-        #: abandoned mid-way (satisfied budget) stays uncached, so a
-        #: truncated list can never be replayed as if complete.
-        seed_memo: dict[str, list[tuple[dict, list]]] = {}
-
-        def seeded(seed_key: str) -> Iterator[tuple[dict, list]]:
-            cached = seed_memo.get(seed_key)
-            if cached is not None:
-                if span is not None:
-                    span.bump("seed_memo_hit")
-                yield from cached
-                return
-            if span is not None:
-                span.bump("seed_memo_miss")
-            reversed_run = None
-            if self.seed.side == RIGHT:
-                reversed_run = (self.seed.reversed_path, self.seed.reversed_nfa)
-            acc: list[tuple[dict, list]] = []
-            for m in iter_seeded_rows(
-                graph, self.prepared, config, [seed_key],
-                reversed_run=reversed_run, budget=budget, stats=stats,
-                span=span,
-            ):
-                item = (m.values, m.paths)
-                acc.append(item)
-                yield item
-            seed_memo[seed_key] = acc
+        # Shared seeded entry point: one anchored run per distinct seed,
+        # hub-skew memoization included (see engine.SeededSearch).
+        search: Optional[SeededSearch] = None
 
         def candidates(row: dict[str, Any]) -> Iterator[tuple[dict, list]]:
-            nonlocal build
+            nonlocal build, search
             if self.seed is not None:
                 if self._any_null(row):
                     return iter(())
                 seed_key = _join_key(row.get(self.seed.var))
                 if not isinstance(seed_key, str) or not graph.has_node(seed_key):
                     return iter(())
+                if search is None:
+                    search = SeededSearch(
+                        graph, self.prepared, config,
+                        reversed_run=self.seed.reversed_run,
+                        budget=budget, stats=stats, span=span,
+                    )
                 return (
-                    item for item in seeded(seed_key)
+                    item for item in search.run(seed_key)
                     if self._agrees(item[0], row)
                 )
             if self.direct:
@@ -644,7 +602,7 @@ def _compile_match(
 
     seed = None
     if seed_enabled and shared_vars:
-        seed = _plan_seed(prepared, shared_vars)
+        seed = plan_seed(prepared, shared_vars)
     direct = seed is None and unit_input
     return CompiledMatch(
         statement=statement,
@@ -656,45 +614,3 @@ def _compile_match(
         seed=seed,
         direct=direct,
     )
-
-
-def _plan_seed(prepared: PreparedQuery, shared_vars: list[str]) -> Optional[SeedPlan]:
-    """Pick a sound anchor among the shared variables, or None.
-
-    Seeding is sound when every match pins one end of the (single) path
-    pattern to the same unconditional singleton variable: restricting
-    the search to start at the bound node then selects whole endpoint
-    partitions, so selectors/KEEP inside the pattern are unaffected.
-    The right end requires the reversal machinery (and a reversible
-    pattern); left wins ties because it needs none.
-    """
-    if prepared.num_path_patterns != 1:
-        return None
-    path = prepared.normalized.paths[0]
-    analysis = prepared.analysis.paths[0]
-    for side in (LEFT, RIGHT):
-        nodes = pinned_end_nodes(path.pattern, side)
-        if not nodes:
-            continue
-        vars_ = {node.var for node in nodes}
-        if len(vars_) != 1:
-            continue
-        var = next(iter(vars_))
-        if var is None or var not in shared_vars:
-            continue
-        info = analysis.vars.get(var)
-        if info is None or info.group or info.conditional or info.anonymous:
-            continue
-        if side == LEFT:
-            return SeedPlan(var=var, side=LEFT)
-        if not is_reversible(analysis):
-            continue
-        try:
-            reversed_path, reversed_nfa = compile_reversed(path)
-        except ReproError:  # pragma: no cover - defensive, mirrors planner
-            continue
-        return SeedPlan(
-            var=var, side=RIGHT,
-            reversed_path=reversed_path, reversed_nfa=reversed_nfa,
-        )
-    return None

@@ -238,6 +238,13 @@ def plan_summary(trace: QueryTrace) -> Optional[str]:
                     f"pushed into {event['graph_table']}: "
                     f"{'; '.join(event['predicates'])}"
                 )
+            elif event["event"] == "plan_rewrite":
+                detail = ", ".join(
+                    f"{key}={value}"
+                    for key, value in event.items()
+                    if key not in ("event", "rule")
+                )
+                parts.append(f"rewrite {event['rule']} ({detail})")
         anchor = span.meta.get("anchor")
         if anchor is not None:
             label = span.name.split(" search ")[0]

@@ -31,6 +31,7 @@ Standard metric families (created eagerly so exports are stable):
 ``repro_worklog_size``                    gauge                      —
 ``repro_mutations_total``                 counter                    engine, op
 ``repro_transactions_total``              counter                    engine, outcome
+``repro_sql_rewrites_total``              counter                    rule
 ``repro_standing_refreshes_total``        counter                    fingerprint
 ``repro_standing_deltas_total``           counter                    fingerprint, kind
 ``repro_standing_refresh_steps_total``    counter                    fingerprint
@@ -225,6 +226,11 @@ class Telemetry:
             "repro_transactions_total",
             "DML transactions finished, by outcome.",
             ("engine", "outcome"),
+        )
+        self.sql_rewrites_total = r.counter(
+            "repro_sql_rewrites_total",
+            "Cross-model SQL plan rewrite rules fired, by rule.",
+            ("rule",),
         )
         standing_labels = ("fingerprint",)
         self.standing_refreshes_total = r.counter(

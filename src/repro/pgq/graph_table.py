@@ -103,8 +103,20 @@ def iter_graph_table_rows(
         graph, prepared, config, limit=limit, budget=budget, stats=stats,
         span=span, count_rows=count_rows,
     ):
-        ctx = EvalContext(bindings=row.values, graph=graph)
-        yield tuple(_to_sql_value(expr.evaluate(ctx)) for _, expr in statement.columns)
+        yield project_columns(graph, statement, row.values)
+
+
+def project_columns(
+    graph: PropertyGraph, statement: GraphTableStatement, values: dict
+) -> tuple:
+    """Project one binding-row value dict through the COLUMNS clause.
+
+    Shared by the streaming enumeration above and the SQL engine's seeded
+    graph scans, which obtain binding rows per probe row rather than from
+    one ``match_iter`` stream.
+    """
+    ctx = EvalContext(bindings=values, graph=graph)
+    return tuple(_to_sql_value(expr.evaluate(ctx)) for _, expr in statement.columns)
 
 
 def _parse_graph_table(query: str, name: str) -> GraphTableStatement:

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.gpml import ast
-from repro.gpml.expr import And, Comparison, Expr, Literal, PropertyRef
+from repro.gpml.expr import And, Comparison, Expr, In, Literal, PropertyRef
 from repro.gpml.label_expr import LabelAnd, LabelAtom, LabelExpr, LabelOr
 from repro.graph.columnar import cached_snapshot
 from repro.graph.model import PropertyGraph
@@ -68,6 +68,34 @@ def sargable_equalities(expr: Optional[Expr], var: Optional[str]) -> dict[str, A
             ):
                 out.setdefault(ref.prop, literal.value)
                 break
+    return out
+
+
+def sargable_memberships(
+    expr: Optional[Expr], var: Optional[str]
+) -> dict[str, tuple]:
+    """``prop -> value tuple`` for conjuncts ``var.prop IN (v1, ...)``.
+
+    The multi-value sibling of :func:`sargable_equalities`: an IN over
+    plain-scalar values (injected by the SQL planner's semi-join
+    reduction) is answerable as a union of per-value index probes.  Only
+    all-plain-scalar value sets qualify, for the same hash-bucket-equality
+    reason; the first membership per property wins.
+    """
+    if var is None:
+        return {}
+    out: dict[str, tuple] = {}
+    for conjunct in conjuncts(expr):
+        if not isinstance(conjunct, In):
+            continue
+        ref = conjunct.operand
+        if not (isinstance(ref, PropertyRef) and ref.var == var):
+            continue
+        if all(
+            isinstance(value, (str, int, float)) and not isinstance(value, bool)
+            for value in conjunct.values
+        ):
+            out.setdefault(ref.prop, conjunct.values)
     return out
 
 
@@ -167,24 +195,41 @@ def candidate_source(
     non-None for single pinned anchors — see module docstring).
     """
     labels = required_labels(node.label)
+    # Single-value equalities and multi-value IN memberships compete on
+    # estimated survivors; an equality on a prop shadows its membership
+    # (one probe is never worse than a value-set union on the same prop).
+    probes: dict[str, tuple] = {}
+    for memberships in (
+        sargable_memberships(node.where, node.var),
+        sargable_memberships(extra_where, node.var),
+    ):
+        for prop, values in memberships.items():
+            probes.setdefault(prop, values)
     equalities = dict(sargable_equalities(node.where, node.var))
     for prop, value in sargable_equalities(extra_where, node.var).items():
         equalities.setdefault(prop, value)
+    for prop, value in equalities.items():
+        probes[prop] = (value,)
 
-    if equalities:
+    if probes:
         # Probe the property with the fewest estimated survivors.
         best_prop = min(
-            equalities,
-            key=lambda prop: catalog.equality_estimate(labels, prop),
+            probes,
+            key=lambda prop: catalog.equality_estimate(labels, prop)
+            * len(probes[prop]),
         )
-        value = equalities[best_prop]
+        values = probes[best_prop]
         estimate = catalog.equality_estimate(
-            labels, best_prop, num_predicates=len(equalities)
-        )
+            labels, best_prop, num_predicates=len(probes)
+        ) * len(values)
         if labels is None:
-            lookups = [(None, best_prop, value)]
+            lookups = [(None, best_prop, value) for value in values]
         else:
-            lookups = [(label, best_prop, value) for label in sorted(labels)]
+            lookups = [
+                (label, best_prop, value)
+                for label in sorted(labels)
+                for value in values
+            ]
         return CandidateSource(
             kind=PROPERTY_INDEX, estimate=estimate, labels=labels, lookups=lookups
         )
@@ -222,11 +267,17 @@ def initial_node_candidates(
     for node in nodes:
         labels = required_labels(node.label)
         equalities = sargable_equalities(node.where, node.var)
+        memberships = sargable_memberships(node.where, node.var)
         if equalities:
             prop = sorted(equalities)[0]
             value = equalities[prop]
             for label in [None] if labels is None else sorted(labels):
                 out |= graph.index_lookup(label, prop, value, kind="node")
+        elif memberships:
+            prop = sorted(memberships)[0]
+            for label in [None] if labels is None else sorted(labels):
+                for value in memberships[prop]:
+                    out |= graph.index_lookup(label, prop, value, kind="node")
         elif labels is not None:
             for label in sorted(labels):
                 out.update(n.id for n in graph.nodes_with_label(label))

@@ -50,6 +50,7 @@ from repro.planner.indexes import (
     candidate_source,
     required_labels,
     sargable_equalities,
+    sargable_memberships,
     union_source,
 )
 from repro.planner.stats import StatisticsCatalog
@@ -278,7 +279,9 @@ def _pushable_where(analysis: PathAnalysis, node: ast.NodePattern, where):
     info = analysis.vars.get(node.var)
     if info is None or info.group or info.conditional or info.anonymous:
         return None
-    if not sargable_equalities(where, node.var):
+    if not sargable_equalities(where, node.var) and not sargable_memberships(
+        where, node.var
+    ):
         return None
     return where
 

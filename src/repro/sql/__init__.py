@@ -17,12 +17,18 @@ search and the cost-based pattern planner.
 """
 
 from repro.errors import SqlError, SqlSyntaxError
+from repro.sql.config import ALL_RULES, SEEDED_JOIN, SEMI_JOIN, SHARED_SCAN, SqlConfig
 from repro.sql.database import Database
 from repro.sql.operators import render_plan
 from repro.sql.parser import parse_sql
 
 __all__ = [
+    "ALL_RULES",
     "Database",
+    "SEEDED_JOIN",
+    "SEMI_JOIN",
+    "SHARED_SCAN",
+    "SqlConfig",
     "SqlError",
     "SqlSyntaxError",
     "parse_sql",

@@ -1,0 +1,49 @@
+"""SQL-side planner configuration: the cross-model rewrite rule gates.
+
+Mirrors :class:`~repro.gpml.matcher.MatcherConfig`'s environment-default
+idiom: ``REPRO_DISABLE_SQL_OPTIMIZER=1`` turns every rewrite rule off for
+a whole process, giving CI an oracle mode in which each plan is the naive
+bound tree (the same pattern as ``REPRO_DISABLE_COLUMNAR`` for the
+matcher core).  Individual rules are toggled through
+``SqlConfig.optimizer_rules``; predicate/LIMIT pushdown (PR 3) is not a
+rule — it stays governed by the ``pushdown`` flag so the pre-existing
+oracle comparisons keep their meaning.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+#: join-through-GRAPH_TABLE: a join keyed on a COLUMNS output becomes a
+#: seeded per-probe-row graph search.
+SEEDED_JOIN = "seeded_join"
+#: common-subpattern sharing: structurally identical GRAPH_TABLE calls in
+#: one query enumerate once through a shared spool.
+SHARED_SCAN = "shared_scan"
+#: semi-join reduction: probe-side distinct keys become an IN predicate
+#: on the graph side before enumeration.
+SEMI_JOIN = "semi_join"
+
+ALL_RULES: FrozenSet[str] = frozenset({SEEDED_JOIN, SHARED_SCAN, SEMI_JOIN})
+
+
+def _optimizer_default() -> FrozenSet[str]:
+    if os.environ.get("REPRO_DISABLE_SQL_OPTIMIZER") == "1":
+        return frozenset()
+    return ALL_RULES
+
+
+@dataclass
+class SqlConfig:
+    """Per-query knobs for the SQL planner's rewrite pass."""
+
+    #: rewrite rules allowed to fire (subset of :data:`ALL_RULES`)
+    optimizer_rules: FrozenSet[str] = field(default_factory=_optimizer_default)
+    #: semi-join reduction aborts above this many distinct probe keys —
+    #: a huge IN costs more to push than the enumeration it would save
+    semi_join_max_keys: int = 1024
+
+    def rule_enabled(self, name: str) -> bool:
+        return name in self.optimizer_rules

@@ -33,6 +33,7 @@ from repro.pgq.catalog import Catalog
 from repro.pgq.table import Table
 from repro.sql import ast
 from repro.sql.operators import attach_spans, render_plan
+from repro.sql.config import SqlConfig
 from repro.sql.parser import parse_sql
 from repro.sql.planner import PlannerContext, plan_statement
 
@@ -78,6 +79,7 @@ class Database:
         config: Optional[MatcherConfig] = None,
         stats: Optional[PipelineStats] = None,
         pushdown: bool = True,
+        sql_config: Optional[SqlConfig] = None,
     ):
         """Execute one statement.
 
@@ -88,7 +90,10 @@ class Database:
         returning the :class:`PropertyGraph`.  ``pushdown=False``
         disables predicate and row-budget pushdown into GRAPH_TABLE
         (results are identical; the flag exists for tests and
-        benchmarks).
+        benchmarks).  ``sql_config`` gates the rewrite rules of the
+        cross-model optimizer individually (the default enables all of
+        them unless ``REPRO_DISABLE_SQL_OPTIMIZER=1``); like pushdown,
+        rules never change results, only plans.
         """
         statement = parse_sql(sql)
         if isinstance(statement, ast.CreateGraphStatement):
@@ -96,14 +101,16 @@ class Database:
         if isinstance(statement, ast.ExplainStatement):
             if statement.analyze:
                 lines = self._explain_analyze_lines(
-                    statement.inner, config, stats, pushdown
+                    statement.inner, config, stats, pushdown, sql_config
                 )
             else:
-                lines = self._plan_lines(statement.inner, config, pushdown)
+                lines = self._plan_lines(
+                    statement.inner, config, pushdown, sql_config
+                )
             return Table(["plan"], [(line,) for line in lines], name="explain")
         if self.telemetry is not None and stats is None:
             stats = self.telemetry.stats_for(query=sql, engine="sql")
-        plan = self._plan(statement, config, stats, pushdown)
+        plan = self._plan(statement, config, stats, pushdown, sql_config)
         names = [column.name for column in plan.columns]
         rows = self._delivered(plan.run(), stats)
         if self.telemetry is not None:
@@ -116,6 +123,7 @@ class Database:
         config: Optional[MatcherConfig] = None,
         stats: Optional[PipelineStats] = None,
         pushdown: bool = True,
+        sql_config: Optional[SqlConfig] = None,
     ) -> Iterator[dict[str, Any]]:
         """Execute a SELECT as a lazy stream of dict records."""
         statement = parse_sql(sql)
@@ -123,7 +131,7 @@ class Database:
             raise SqlError("execute_iter only streams SELECT statements")
         if self.telemetry is not None and stats is None:
             stats = self.telemetry.stats_for(query=sql, engine="sql")
-        plan = self._plan(statement, config, stats, pushdown)
+        plan = self._plan(statement, config, stats, pushdown, sql_config)
         names = [column.name for column in plan.columns]
         rows = self._delivered(plan.run(), stats)
         if self.telemetry is not None:
@@ -135,6 +143,7 @@ class Database:
         sql: str,
         config: Optional[MatcherConfig] = None,
         pushdown: bool = True,
+        sql_config: Optional[SqlConfig] = None,
     ) -> str:
         """The relational plan (with embedded GPML pipelines) as text."""
         statement = parse_sql(sql)
@@ -142,7 +151,7 @@ class Database:
             statement = statement.inner
         if not isinstance(statement, ast.SelectStatement):
             raise SqlError("EXPLAIN applies to SELECT statements")
-        return "\n".join(self._plan_lines(statement, config, pushdown))
+        return "\n".join(self._plan_lines(statement, config, pushdown, sql_config))
 
     def explain_analyze(
         self,
@@ -150,6 +159,7 @@ class Database:
         config: Optional[MatcherConfig] = None,
         stats: Optional[PipelineStats] = None,
         pushdown: bool = True,
+        sql_config: Optional[SqlConfig] = None,
     ) -> str:
         """Execute, then render the plan annotated with actuals.
 
@@ -164,7 +174,7 @@ class Database:
         if not isinstance(statement, ast.SelectStatement):
             raise SqlError("EXPLAIN ANALYZE applies to SELECT statements")
         return "\n".join(
-            self._explain_analyze_lines(statement, config, stats, pushdown)
+            self._explain_analyze_lines(statement, config, stats, pushdown, sql_config)
         )
 
     # -- internals ------------------------------------------------------
@@ -174,9 +184,11 @@ class Database:
         config: Optional[MatcherConfig],
         stats: Optional[PipelineStats],
         pushdown: bool,
+        sql_config: Optional[SqlConfig] = None,
     ):
         ctx = PlannerContext(
-            database=self, config=config, stats=stats, pushdown=pushdown
+            database=self, config=config, stats=stats, pushdown=pushdown,
+            sql_config=sql_config if sql_config is not None else SqlConfig(),
         )
         return plan_statement(statement, ctx)
 
@@ -185,8 +197,9 @@ class Database:
         statement: ast.SelectStatement,
         config: Optional[MatcherConfig],
         pushdown: bool,
+        sql_config: Optional[SqlConfig] = None,
     ) -> list[str]:
-        return render_plan(self._plan(statement, config, None, pushdown))
+        return render_plan(self._plan(statement, config, None, pushdown, sql_config))
 
     def _explain_analyze_lines(
         self,
@@ -194,6 +207,7 @@ class Database:
         config: Optional[MatcherConfig],
         stats: Optional[PipelineStats],
         pushdown: bool,
+        sql_config: Optional[SqlConfig] = None,
     ) -> list[str]:
         # Imported lazily: repro.obs.analyze renders both hosts' traces
         # and importing it at module scope would be a layering inversion.
@@ -204,7 +218,7 @@ class Database:
             stats = PipelineStats()
         if stats.trace is None:
             stats.trace = QueryTrace(engine="sql")
-        plan = self._plan(statement, config, stats, pushdown)
+        plan = self._plan(statement, config, stats, pushdown, sql_config)
         attach_spans(plan, stats.trace.root)
         start = perf_counter()
         delivered = 0

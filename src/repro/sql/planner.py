@@ -27,6 +27,12 @@ Cross-Model Efficiency in SQL/PGQ*):
   mix: the budget counts rows the LIMIT actually pulled, and pipeline
   breakers (sorts, aggregations, join build sides) consume their input
   before the first row is delivered, while the budget is still zero.
+* **Rule-driven plan rewrites.**  After the naive tree is built,
+  :func:`repro.sql.rules.apply_rewrite_rules` runs the cross-model
+  optimizer v2 rules over it — join-through-GRAPH_TABLE (seeded per-row
+  search), common-subpattern sharing (spooled scans), and semi-join
+  reduction (probe keys as a sargable IN) — each gated individually by
+  :class:`~repro.sql.config.SqlConfig.optimizer_rules`.
 """
 
 from __future__ import annotations
@@ -67,6 +73,7 @@ from repro.sql.binder import (
     referenced_columns,
     substitute_columns,
 )
+from repro.sql.config import SqlConfig
 from repro.sql.operators import (
     Aggregate,
     BoundAggregate,
@@ -82,6 +89,7 @@ from repro.sql.operators import (
     TableScan,
     Union,
 )
+from repro.sql.rules import apply_rewrite_rules
 
 #: node types every pushable conjunct (and pushable COLUMNS defining
 #: expression) may consist of — the scalar language shared by SQL and GPML
@@ -100,11 +108,21 @@ class PlannerContext:
     config: Optional[MatcherConfig] = None
     stats: Optional[PipelineStats] = None
     pushdown: bool = True
+    sql_config: SqlConfig = dataclass_field(default_factory=SqlConfig)
     graph_scans: list[GraphTableScan] = dataclass_field(default_factory=list)
 
 
 def plan_statement(statement: ast.SelectStatement, ctx: PlannerContext) -> Operator:
-    """Build the operator tree of a full SELECT statement."""
+    """Build the operator tree of a full SELECT statement.
+
+    Two phases: the naive bound tree first (cores, set operations, the
+    outer sort), then — with pushdown enabled — the rule-driven rewrite
+    pass of :mod:`repro.sql.rules` over the whole tree, so cross-model
+    rules see every join and every graph scan of the statement at once
+    (common-subpattern sharing spans UNION branches).  The row budget is
+    assigned last: rewrite rules may replace scan operators, and the
+    budget must land on the survivors.
+    """
     if len(statement.cores) == 1:
         root = _plan_core(statement.cores[0], ctx, statement.order_by)
     else:
@@ -125,6 +143,9 @@ def plan_statement(statement: ast.SelectStatement, ctx: PlannerContext) -> Opera
                     bound = bind(item.expr, scope, where="ORDER BY")
                 keys.append((bound, item.descending))
             root = Sort(root, keys)
+
+    if ctx.pushdown:
+        root = apply_rewrite_rules(root, ctx)
 
     if statement.limit is not None or statement.offset:
         budget = None

@@ -1,0 +1,359 @@
+"""Per-rule unit tests for the cross-model rewrite pass.
+
+Each rule gets: a firing case (EXPLAIN mode + rewrite trace event +
+result identity against the rules-off oracle), its refusal conditions,
+and its runtime guard rails (seeded fallback, semi-join abort, spool
+truncation under LIMIT).  The differential sweep over random inputs
+lives in ``tests/property/test_cross_model_equivalence.py``.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.gpml import PipelineStats
+from repro.obs import Telemetry
+from repro.pgq import tabular_representation
+from repro.sql import (
+    ALL_RULES,
+    Database,
+    SEEDED_JOIN,
+    SEMI_JOIN,
+    SHARED_SCAN,
+    SqlConfig,
+)
+from repro.sql.config import _optimizer_default
+
+
+@pytest.fixture()
+def db(fig1):
+    database = Database()
+    database.register_graph("fig1", fig1)
+    for name, table in tabular_representation(fig1).items():
+        database.register_table(name, table)
+    return database
+
+
+TRANSFERS_GT = (
+    "GRAPH_TABLE(fig1 MATCH (a:Account)-[t:Transfer]->(b:Account) "
+    "COLUMNS (a AS src_el, a.owner AS src, b.owner AS dst))"
+)
+OFF = SqlConfig(optimizer_rules=frozenset())
+
+
+def only(rule, **kwargs):
+    return SqlConfig(optimizer_rules=frozenset({rule}), **kwargs)
+
+
+def rewrite_events(stats):
+    return [
+        event
+        for span in stats.trace.walk()
+        for event in span.events
+        if event["event"] == "plan_rewrite"
+    ]
+
+
+def bag(table):
+    return sorted(map(repr, table.rows))
+
+
+class TestSeededJoin:
+    ELEMENT_QUERY = (
+        f"SELECT acc.owner, gt.dst FROM Account AS acc JOIN {TRANSFERS_GT} AS gt "
+        "ON gt.src_el = acc.ID"
+    )
+    PROPERTY_QUERY = (
+        f"SELECT acc.owner, gt.dst FROM Account AS acc JOIN {TRANSFERS_GT} AS gt "
+        "ON gt.src = acc.owner"
+    )
+
+    def test_element_probe_rewrites_and_agrees(self, db):
+        plan = db.explain(self.ELEMENT_QUERY, sql_config=only(SEEDED_JOIN))
+        assert "seeded graph_table scan fig1" in plan
+        assert "mode: seeded join" in plan
+        assert "anchors a (left end)" in plan
+        on = db.execute(self.ELEMENT_QUERY, sql_config=only(SEEDED_JOIN))
+        off = db.execute(self.ELEMENT_QUERY, sql_config=OFF)
+        assert bag(on) == bag(off)
+
+    def test_property_probe_rewrites_and_agrees(self, db):
+        plan = db.explain(self.PROPERTY_QUERY, sql_config=only(SEEDED_JOIN))
+        assert "seeded graph_table scan fig1" in plan
+        on = db.execute(self.PROPERTY_QUERY, sql_config=only(SEEDED_JOIN))
+        off = db.execute(self.PROPERTY_QUERY, sql_config=OFF)
+        assert bag(on) == bag(off)
+
+    def test_rewrite_event_on_trace(self, db):
+        stats = PipelineStats.traced(query=self.ELEMENT_QUERY, engine="sql")
+        db.execute(self.ELEMENT_QUERY, stats=stats, sql_config=only(SEEDED_JOIN))
+        events = rewrite_events(stats)
+        assert events and events[0]["rule"] == SEEDED_JOIN
+        assert events[0]["anchor"] == "a"
+
+    def test_seed_memo_deduplicates_probe_rows(self, db):
+        # Transfer SRC endpoints repeat, so identical seeds replay from
+        # the memo instead of re-running the anchored search.
+        query = (
+            f"SELECT tr.amount, gt.dst FROM Transfer AS tr JOIN {TRANSFERS_GT} AS gt "
+            "ON gt.src_el = tr.SRC"
+        )
+        stats = PipelineStats.traced(query=query, engine="sql")
+        out = db.explain_analyze(query, stats=stats, sql_config=only(SEEDED_JOIN))
+        assert "seed_memo_hit" in out
+        counts = {}
+        for span in stats.trace.walk():
+            for key in ("seed_memo_hit", "seed_memo_miss"):
+                counts[key] = counts.get(key, 0) + span.counts.get(key, 0)
+        assert counts["seed_memo_hit"] >= 1
+        assert counts["seed_memo_miss"] >= 1
+
+    def test_interior_key_not_seedable(self, db):
+        # t is the edge between the endpoints — not a pinned end, so the
+        # rule must decline and leave the hash join in place.
+        query = (
+            "SELECT tr.amount FROM Transfer AS tr JOIN GRAPH_TABLE(fig1 "
+            "MATCH (a:Account)-[t:Transfer]->(b:Account) COLUMNS (t AS edge)) "
+            "AS gt ON gt.edge = tr.ID"
+        )
+        plan = db.explain(query, sql_config=only(SEEDED_JOIN))
+        assert "seeded graph_table scan" not in plan
+        assert "hash join" in plan
+
+    def test_probe_misses_yield_no_rows(self, db):
+        # Transfer ids are never node ids: every probe resolves to zero
+        # seeds and the join is empty, same as the oracle.
+        query = (
+            f"SELECT tr.ID FROM Transfer AS tr JOIN {TRANSFERS_GT} AS gt "
+            "ON gt.src_el = tr.ID"
+        )
+        on = db.execute(query, sql_config=only(SEEDED_JOIN))
+        off = db.execute(query, sql_config=OFF)
+        assert bag(on) == bag(off) == []
+
+    def test_pushed_predicate_reaches_seeded_scan(self, db):
+        query = f"{self.ELEMENT_QUERY} WHERE gt.dst = 'Aretha'"
+        plan = db.explain(query, sql_config=only(SEEDED_JOIN))
+        assert "seeded graph_table scan fig1" in plan
+        assert "pushed into MATCH: b.owner = 'Aretha'" in plan
+        on = db.execute(query, sql_config=only(SEEDED_JOIN))
+        off = db.execute(query, sql_config=OFF)
+        assert bag(on) == bag(off)
+
+
+class TestSharedScan:
+    TWO_SCANS = (
+        f"SELECT g1.src, g2.dst FROM {TRANSFERS_GT} AS g1 "
+        f"JOIN {TRANSFERS_GT} AS g2 ON g1.dst = g2.src"
+    )
+
+    def test_identical_scans_share_one_spool(self, db):
+        plan = db.explain(self.TWO_SCANS, sql_config=only(SHARED_SCAN))
+        assert plan.count("shared graph_table spool") == 2
+        assert "enumerates once" in plan
+        assert "reads the spool" in plan
+        on = db.execute(self.TWO_SCANS, sql_config=only(SHARED_SCAN))
+        off = db.execute(self.TWO_SCANS, sql_config=OFF)
+        assert bag(on) == bag(off)
+
+    def test_enumerates_the_pattern_once(self, db):
+        shared, naive = (
+            PipelineStats.traced(query=self.TWO_SCANS, engine="sql")
+            for _ in range(2)
+        )
+        db.execute(self.TWO_SCANS, stats=shared, sql_config=only(SHARED_SCAN))
+        db.execute(self.TWO_SCANS, stats=naive, sql_config=OFF)
+        assert shared.steps < naive.steps
+        events = rewrite_events(shared)
+        assert events and events[0]["rule"] == SHARED_SCAN
+        assert events[0]["consumers"] == 2
+
+    def test_prefix_columns_read_a_truncated_spool(self, db):
+        query = (
+            "SELECT g1.src_el, g2.dst FROM GRAPH_TABLE(fig1 "
+            "MATCH (a:Account)-[t:Transfer]->(b:Account) "
+            "COLUMNS (a AS src_el)) AS g1 "
+            f"JOIN {TRANSFERS_GT} AS g2 ON g1.src_el = g2.src_el"
+        )
+        plan = db.explain(query, sql_config=only(SHARED_SCAN))
+        assert plan.count("shared graph_table spool") == 2
+        on = db.execute(query, sql_config=only(SHARED_SCAN))
+        off = db.execute(query, sql_config=OFF)
+        assert bag(on) == bag(off)
+
+    def test_different_patterns_do_not_share(self, db):
+        query = (
+            f"SELECT g1.src, g2.who FROM {TRANSFERS_GT} AS g1 "
+            "JOIN GRAPH_TABLE(fig1 MATCH (c:Account)<-[u:Transfer]-(d:Account) "
+            "COLUMNS (c.owner AS who)) AS g2 ON g1.src = g2.who"
+        )
+        plan = db.explain(query, sql_config=only(SHARED_SCAN))
+        assert "shared graph_table spool" not in plan
+
+    def test_pushed_predicates_distinguish_fingerprints(self, db):
+        # The same pattern text with different pushed WHEREs enumerates
+        # different row sets — sharing would be unsound.
+        query = (
+            f"SELECT g1.src, g2.src FROM {TRANSFERS_GT} AS g1 "
+            f"JOIN {TRANSFERS_GT} AS g2 ON g1.dst = g2.src "
+            "WHERE g1.src = 'Dave' AND g2.dst = 'Aretha'"
+        )
+        plan = db.explain(query, sql_config=only(SHARED_SCAN))
+        assert "shared graph_table spool" not in plan
+        on = db.execute(query, sql_config=only(SHARED_SCAN))
+        off = db.execute(query, sql_config=OFF)
+        assert bag(on) == bag(off)
+
+    def test_shared_scans_under_limit(self, db):
+        query = f"{self.TWO_SCANS} LIMIT 3"
+        on = db.execute(query, sql_config=only(SHARED_SCAN))
+        full = db.execute(self.TWO_SCANS, sql_config=OFF)
+        assert len(on.rows) == 3
+        remaining = bag(full)
+        for row in map(repr, on.rows):
+            assert row in remaining
+            remaining.remove(row)
+
+
+class TestSemiJoinReduction:
+    QUERY = (
+        f"SELECT acc.owner, gt.dst FROM Account AS acc JOIN {TRANSFERS_GT} AS gt "
+        "ON gt.src = acc.owner"
+    )
+
+    def test_reduction_marked_and_agrees(self, db):
+        plan = db.explain(self.QUERY, sql_config=only(SEMI_JOIN))
+        assert "semi-join reduction: distinct values of acc.owner" in plan
+        on = db.execute(self.QUERY, sql_config=only(SEMI_JOIN))
+        off = db.execute(self.QUERY, sql_config=OFF)
+        assert bag(on) == bag(off)
+
+    def test_reduction_applied_at_runtime(self, db):
+        stats = PipelineStats.traced(query=self.QUERY, engine="sql")
+        out = db.explain_analyze(self.QUERY, stats=stats, sql_config=only(SEMI_JOIN))
+        # the injected IN is sargable: the search anchors on per-value
+        # property-index probes instead of a label scan
+        assert "property index Account(owner=" in out
+        applied = [
+            event
+            for span in stats.trace.walk()
+            for event in span.events
+            if event["event"] == "semi_join_reduction"
+        ]
+        assert applied and applied[0]["applied"] is True
+        assert applied[0]["keys"] >= 1
+
+    def test_reduction_shrinks_enumeration(self, db):
+        query = (
+            f"SELECT acc.owner, gt.dst FROM Account AS acc JOIN {TRANSFERS_GT} AS gt "
+            "ON gt.src = acc.owner WHERE acc.ID = 'a1'"
+        )
+        reduced, naive = (
+            PipelineStats.traced(query=query, engine="sql") for _ in range(2)
+        )
+        db.execute(query, stats=reduced, sql_config=only(SEMI_JOIN))
+        db.execute(query, stats=naive, sql_config=OFF)
+        assert reduced.steps < naive.steps
+
+    def test_key_cap_aborts_but_agrees(self, db):
+        config = only(SEMI_JOIN, semi_join_max_keys=1)
+        stats = PipelineStats.traced(query=self.QUERY, engine="sql")
+        on = db.execute(self.QUERY, stats=stats, sql_config=config)
+        events = [
+            event
+            for span in stats.trace.walk()
+            for event in span.events
+            if event["event"] == "semi_join_reduction"
+        ]
+        # the rewrite still fires at plan time; the runtime guard aborts
+        assert rewrite_events(stats)
+        off = db.execute(self.QUERY, sql_config=OFF)
+        assert bag(on) == bag(off)
+
+    def test_keep_blocks_reduction(self, db):
+        query = (
+            "SELECT acc.owner, g.dst FROM Account AS acc JOIN GRAPH_TABLE(fig1 "
+            "MATCH TRAIL (a:Account)-[t:Transfer]->+(b:Account) KEEP ANY SHORTEST "
+            "COLUMNS (a.owner AS src, b.owner AS dst)) AS g ON g.src = acc.owner"
+        )
+        plan = db.explain(query, sql_config=only(SEMI_JOIN))
+        assert "semi-join reduction" not in plan
+        on = db.execute(query, sql_config=only(SEMI_JOIN))
+        off = db.execute(query, sql_config=OFF)
+        assert bag(on) == bag(off)
+
+
+class TestGatesAndTelemetry:
+    QUERY = TestSeededJoin.ELEMENT_QUERY
+
+    def test_env_gate_disables_all_rules(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DISABLE_SQL_OPTIMIZER", "1")
+        assert _optimizer_default() == frozenset()
+        assert SqlConfig().optimizer_rules == frozenset()
+        monkeypatch.delenv("REPRO_DISABLE_SQL_OPTIMIZER")
+        assert _optimizer_default() == ALL_RULES
+
+    def test_no_rewrites_without_pushdown(self, db):
+        stats = PipelineStats.traced(query=self.QUERY, engine="sql")
+        db.execute(self.QUERY, stats=stats, pushdown=False)
+        assert rewrite_events(stats) == []
+
+    def test_rewrites_ticked_in_telemetry(self, fig1):
+        database = Database(telemetry=Telemetry())
+        database.register_graph("fig1", fig1)
+        for name, table in tabular_representation(fig1).items():
+            database.register_table(name, table)
+        database.execute(self.QUERY, sql_config=SqlConfig(optimizer_rules=ALL_RULES))
+        prom = database.telemetry.render_prometheus()
+        assert 'repro_sql_rewrites_total{rule="seeded_join"} 1' in prom
+
+    def test_plan_summary_reports_rewrites(self, db):
+        from repro.obs.analyze import plan_summary
+
+        stats = PipelineStats.traced(query=self.QUERY, engine="sql")
+        db.execute(
+            self.QUERY, stats=stats,
+            sql_config=SqlConfig(optimizer_rules=ALL_RULES),
+        )
+        summary = plan_summary(stats.trace)
+        assert "rewrite seeded_join" in summary
+
+
+class TestCliFlags:
+    QUERY = (
+        "SELECT acc.owner, gt.dst FROM Account AS acc JOIN GRAPH_TABLE(figure1 "
+        "MATCH (a:Account)-[t:Transfer]->(b:Account) "
+        "COLUMNS (a AS src_el, b.owner AS dst)) AS gt ON gt.src_el = acc.ID "
+        "ORDER BY acc.owner, gt.dst"
+    )
+
+    def test_default_explain_shows_seeded_scan(self, capsys, monkeypatch):
+        # the oracle-mode CI run sets the kill switch; the default this
+        # test pins down is the no-env-var default
+        monkeypatch.delenv("REPRO_DISABLE_SQL_OPTIMIZER", raising=False)
+        assert main(["sql", "--explain", self.QUERY]) == 0
+        assert "seeded graph_table scan" in capsys.readouterr().out
+
+    def test_no_optimizer_flag(self, capsys):
+        assert main(["sql", "--explain", "--no-optimizer", self.QUERY]) == 0
+        out = capsys.readouterr().out
+        assert "seeded graph_table scan" not in out
+        assert "hash join" in out
+
+    def test_optimizer_rules_flag(self, capsys):
+        assert main(
+            ["sql", "--explain", "--optimizer-rules", "semi_join", self.QUERY]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "seeded graph_table scan" not in out
+        assert "semi-join reduction" not in out  # element key is not scalar
+        assert "hash join" in out
+
+    def test_unknown_rule_rejected(self, capsys):
+        assert main(["sql", "--optimizer-rules", "bogus", self.QUERY]) == 2
+        assert "unknown optimizer rule" in capsys.readouterr().err
+
+    def test_results_identical_across_flags(self, capsys):
+        assert main(["sql", self.QUERY]) == 0
+        with_optimizer = capsys.readouterr().out
+        assert main(["sql", "--no-optimizer", self.QUERY]) == 0
+        assert capsys.readouterr().out == with_optimizer
